@@ -1,0 +1,50 @@
+"""Ablation: triangulation heuristic (min-fill vs. min-degree).
+
+Design choice from DESIGN.md section 5: the elimination-order heuristic
+controls the largest clique's state space, which is the exponential
+term of junction-tree inference.
+"""
+
+import pytest
+
+from repro.bayesian.junction import JunctionTree
+from repro.circuits import suite
+from repro.core.lidag import build_lidag
+
+CIRCUITS = ["c17", "alu", "voter", "comp", "pcler8", "count"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+@pytest.mark.parametrize("heuristic", ["min_fill", "min_degree"])
+def test_triangulation_heuristic(benchmark, name, heuristic, report_rows):
+    circuit = suite.load_circuit(name)
+    bn = build_lidag(circuit)
+
+    jt = benchmark.pedantic(
+        JunctionTree.from_network, args=(bn,), kwargs={"heuristic": heuristic},
+        rounds=3, iterations=1,
+    )
+    stats = jt.stats()
+    report_rows.setdefault(
+        "Ablation: triangulation heuristic",
+        (["circuit", "heuristic", "fill_ins", "max_clique_states", "total_entries"], []),
+    )[1].append(
+        {
+            "circuit": name,
+            "heuristic": heuristic,
+            "fill_ins": stats["fill_ins"],
+            "max_clique_states": stats["max_clique_states"],
+            "total_entries": stats["total_table_entries"],
+        }
+    )
+    assert jt.check_running_intersection()
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_min_fill_no_worse_tables(name):
+    """min-fill should not produce (much) larger total tables."""
+    circuit = suite.load_circuit(name)
+    bn = build_lidag(circuit)
+    fill = JunctionTree.from_network(bn, heuristic="min_fill").stats()
+    degree = JunctionTree.from_network(bn, heuristic="min_degree").stats()
+    assert fill["total_table_entries"] <= degree["total_table_entries"] * 4

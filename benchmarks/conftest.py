@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+By default the benchmarks run a representative subset so a full
+``pytest benchmarks/ --benchmark-only`` pass finishes in minutes; set
+``REPRO_BENCH_FULL=1`` to run every Table 1 row including the
+multi-thousand-gate circuits.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Table 1 rows always benchmarked.
+TABLE1_FAST = [
+    "c17",
+    "c432s",
+    "c499s",
+    "c880s",
+    "alu",
+    "malu",
+    "max_flat",
+    "voter",
+    "b9s",
+    "c8s",
+    "count",
+    "comp",
+    "pcler8",
+]
+
+#: Added when REPRO_BENCH_FULL=1.
+TABLE1_SLOW = ["c1355s", "c1908s", "c2670s", "c3540s", "c5315s", "c6288s", "c7552s"]
+
+TABLE1_CIRCUITS = TABLE1_FAST + (TABLE1_SLOW if FULL else [])
+
+TABLE2_CIRCUITS = ["c17", "c432s", "c499s"] + (["c880s", "c1355s"] if FULL else [])
+
+#: Simulation pairs for ground truth in benchmark mode.
+N_PAIRS = 100_000 if FULL else 30_000
+
+
+@pytest.fixture(scope="session")
+def report_rows():
+    """Session-scoped accumulator printed at the end of the run."""
+    rows = {}
+    yield rows
+    from repro.analysis.tables import format_table, rows_from_dicts
+
+    for title, (columns, data) in rows.items():
+        if data:
+            print("\n" + format_table(columns, rows_from_dicts(data, columns), title=title))

@@ -1,0 +1,62 @@
+"""Input-statistics sensitivity: the compile-once / propagate-often win.
+
+The paper's advantage #3: after junction-tree compilation, re-estimating
+under new input statistics costs milliseconds.  This example sweeps the
+input one-probability of the ``comp`` (16-bit comparator) circuit over
+a grid, re-propagating the compiled network each time, and shows how
+mean switching activity and the outputs' activity respond -- then
+contrasts the accumulated propagate time with the one-off compile time.
+
+Run with: ``python examples/input_sensitivity.py``
+"""
+
+import numpy as np
+
+from repro import IndependentInputs, SwitchingActivityEstimator
+from repro.analysis.tables import format_table
+from repro.circuits.suite import load_circuit
+
+
+def main():
+    circuit = load_circuit("comp")
+    estimator = SwitchingActivityEstimator(circuit, max_clique_states=4 ** 10)
+    estimator.compile()
+    print(f"{circuit!r}\ncompile time: {estimator.compile_seconds:.3f}s\n")
+
+    rows = []
+    total_propagate = 0.0
+    for p_one in np.linspace(0.1, 0.9, 9):
+        estimator.update_inputs(IndependentInputs(float(p_one)))
+        estimate = estimator.estimate()
+        total_propagate += estimate.propagate_seconds
+        rows.append(
+            [
+                round(float(p_one), 2),
+                estimate.mean_activity(),
+                estimate.switching("a_gt_b"),
+                estimate.switching("a_eq_b"),
+                estimate.propagate_seconds * 1e3,
+            ]
+        )
+
+    print(
+        format_table(
+            ["P(input=1)", "mean activity", "sw(a>b)", "sw(a=b)", "propagate (ms)"],
+            rows,
+            title="Sweep of input statistics on the 16-bit comparator",
+        )
+    )
+    print(
+        f"\n9 sweeps propagated in {total_propagate:.3f}s total vs. "
+        f"{estimator.compile_seconds:.3f}s compile -- the paper's "
+        "precompile-once advantage."
+    )
+    # With 16 bits, P(a=b) is vanishingly small for balanced inputs and
+    # grows toward biased ones, so the equality output is most active at
+    # the extremes of the sweep.
+    activities = [row[3] for row in rows]
+    print(f"sw(a=b) peaks at P(1)={rows[int(np.argmax(activities))][0]}")
+
+
+if __name__ == "__main__":
+    main()

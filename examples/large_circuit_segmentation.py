@@ -1,0 +1,67 @@
+"""Multi-BN segmentation of a large circuit (paper Section 6).
+
+Circuits too large for one junction tree are cut into segments; line
+marginals (and, in ``tree`` mode, a spanning forest of pairwise joints)
+cross the cuts.  This example estimates the c7552-class stand-in
+(~2.4k gates) with the segmented estimator, validates against logic
+simulation, and reports the segment structure including which segments
+used the junction tree versus the enumeration backend.
+
+Run with: ``python examples/large_circuit_segmentation.py``
+"""
+
+import numpy as np
+
+from repro import SegmentedEstimator
+from repro.analysis import error_statistics, format_table
+from repro.baselines import simulate_switching
+from repro.circuits.suite import load_circuit
+
+
+def main():
+    circuit = load_circuit("c7552s")
+    print(f"{circuit!r} depth={circuit.depth}")
+
+    estimator = SegmentedEstimator(circuit, max_gates_per_segment=60, lookback=3)
+    estimate = estimator.estimate()
+    print(
+        f"\n{estimator.num_segments} segments; compile "
+        f"{estimate.compile_seconds:.2f}s, propagate "
+        f"{estimate.propagate_seconds:.2f}s"
+    )
+
+    stats = estimator.segment_stats()
+    backends = {}
+    for entry in stats:
+        backends[entry["backend"]] = backends.get(entry["backend"], 0) + 1
+    print(f"backends used: {backends}")
+
+    largest = sorted(stats, key=lambda s: -s["total_table_entries"])[:5]
+    rows = [
+        [s["name"].split(".")[-1], s["backend"], s["gates"], s["owned_gates"],
+         s["max_clique_states"], s["total_table_entries"]]
+        for s in largest
+    ]
+    print(
+        format_table(
+            ["segment", "backend", "gates", "owned", "max clique", "entries"],
+            rows,
+            title="Five largest segments",
+        )
+    )
+
+    print("\nValidating against 50k-pair logic simulation...")
+    sim = simulate_switching(circuit, n_pairs=50_000, rng=np.random.default_rng(0))
+    err = error_statistics(estimate.activities, sim.activities)
+    print(
+        f"mean |error| = {err.mean_abs_error:.4f}, sigma = {err.std_error:.4f}, "
+        f"%error of means = {err.percent_error_of_means:.2f}%"
+    )
+    print(
+        "(single-BN circuits are exact; the residual here is the "
+        "segmentation boundary approximation plus simulation noise)"
+    )
+
+
+if __name__ == "__main__":
+    main()

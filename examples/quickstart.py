@@ -1,0 +1,62 @@
+"""Quickstart: estimate switching activity of a small circuit.
+
+Demonstrates the core flow of the library on ISCAS c17:
+
+1. load/build a circuit,
+2. compile its LIDAG-structured Bayesian network into a junction tree,
+3. read per-line switching activities,
+4. validate against logic simulation,
+5. re-propagate under new input statistics without recompiling.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import IndependentInputs, SwitchingActivityEstimator
+from repro.analysis.tables import format_table
+from repro.baselines import simulate_switching
+from repro.circuits.examples import c17
+
+
+def main():
+    circuit = c17()
+    print(f"Circuit: {circuit!r}")
+
+    # Compile once (moralize -> triangulate -> junction tree)...
+    estimator = SwitchingActivityEstimator(circuit)
+    estimate = estimator.estimate()
+    print(
+        f"compiled in {estimate.compile_seconds * 1e3:.1f} ms, "
+        f"propagated in {estimate.propagate_seconds * 1e3:.1f} ms"
+    )
+
+    # ...and compare the exact estimates with logic simulation.
+    simulation = simulate_switching(
+        circuit, n_pairs=200_000, rng=np.random.default_rng(0)
+    )
+    rows = [
+        [line, estimate.switching(line), simulation.switching(line)]
+        for line in circuit.lines
+    ]
+    print()
+    print(
+        format_table(
+            ["line", "BN estimate", "simulation (200k pairs)"],
+            rows,
+            title="Switching activity under random inputs (p=0.5)",
+        )
+    )
+
+    # New input statistics are a cheap re-propagation, not a recompile.
+    estimator.update_inputs(IndependentInputs(0.9))
+    biased = estimator.estimate()
+    print(
+        f"\nWith P(input=1)=0.9 the mean activity drops from "
+        f"{estimate.mean_activity():.4f} to {biased.mean_activity():.4f} "
+        f"(re-propagated in {biased.propagate_seconds * 1e3:.1f} ms)."
+    )
+
+
+if __name__ == "__main__":
+    main()

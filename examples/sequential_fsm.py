@@ -1,0 +1,95 @@
+"""Sequential-circuit switching estimation by state fixpoint iteration.
+
+Scan-converted sequential circuits (flip-flops split into pseudo
+inputs/outputs, as the ``.bench`` parser does for DFF cells) are handled
+by iterating the state statistics to a fixpoint.  This example runs the
+flow on two machines:
+
+- a 4-bit shift register driven by a biased serial stream (the fixpoint
+  is exact: each stage relays the stream's statistics), and
+- a 4-bit enabled counter (the classic case where the chained bits
+  carry *cross-cycle* correlation a single-cycle model cannot
+  represent -- the example shows the documented overestimate next to
+  true sequential simulation).
+
+Run with: ``python examples/sequential_fsm.py``
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines.simulation import simulate_sequential_switching
+from repro.circuits.bench import parse_bench
+from repro.circuits.generate import counter_next_state
+from repro.core import IndependentInputs, SequentialSwitchingEstimator
+
+SHIFT_BENCH = """
+INPUT(d)
+OUTPUT(tap)
+q0 = DFF(nq0)
+q1 = DFF(nq1)
+q2 = DFF(nq2)
+q3 = DFF(nq3)
+nq0 = BUFF(d)
+nq1 = BUFF(q0)
+nq2 = BUFF(q1)
+nq3 = BUFF(q2)
+tap = XOR(q1, q3)
+"""
+
+
+def main():
+    # --- shift register from a sequential .bench netlist ------------------
+    shift = parse_bench(SHIFT_BENCH, name="shift4")
+    state_map = {f"q{i}": f"nq{i}" for i in range(4)}
+    model = IndependentInputs(0.2)  # biased serial stream
+    estimator = SequentialSwitchingEstimator(shift, state_map, model)
+    result = estimator.estimate()
+    sim = simulate_sequential_switching(
+        shift, state_map, model, n_cycles=100_000, rng=np.random.default_rng(0)
+    )
+    print(
+        f"shift register: converged in {result.iterations} iterations "
+        f"(residual {result.residual:.2e})"
+    )
+    rows = [
+        [line, result.switching(line), sim.switching(line)]
+        for line in ("nq0", "nq1", "nq3", "tap")
+    ]
+    print(
+        format_table(
+            ["line", "fixpoint", "sequential sim"],
+            rows,
+            title="Shift register, serial stream P(1)=0.2",
+        )
+    )
+
+    # --- enabled counter: the documented cross-cycle limitation -----------
+    counter = counter_next_state(4)
+    state_map = {f"q{i}": f"nq{i}" for i in range(4)}
+    estimator = SequentialSwitchingEstimator(counter, state_map)
+    result = estimator.estimate()
+    sim = simulate_sequential_switching(
+        counter, state_map, n_cycles=200_000, rng=np.random.default_rng(1)
+    )
+    rows = [
+        [line, result.switching(line), sim.switching(line)]
+        for line in ("nq0", "nq1", "nq2", "ovf")
+    ]
+    print()
+    print(
+        format_table(
+            ["line", "fixpoint", "sequential sim"],
+            rows,
+            title="Enabled counter (random enable)",
+        )
+    )
+    print(
+        "\nnq0 and the overflow are captured; the chained bits nq1/nq2 "
+        "overestimate because their correlation with the enable spans two "
+        "cycles -- the documented limit of single-cycle fixpoint models."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Dependency-preserving switching-activity estimation with Bayesian networks.
+
+A from-scratch reproduction of Bhanja & Ranganathan, *"Dependency
+Preserving Probabilistic Modeling of Switching Activity using Bayesian
+Networks"* (DAC 2001): combinational circuits are mapped to
+LIDAG-structured Bayesian networks over 4-state transition variables,
+compiled to junction trees, and queried by local message passing for
+exact per-line switching activity.
+
+Quickstart::
+
+    from repro import SwitchingActivityEstimator
+    from repro.circuits.examples import c17
+
+    estimate = SwitchingActivityEstimator(c17()).estimate()
+    print(estimate.switching("22"))
+
+Packages
+--------
+- :mod:`repro.circuits` -- gate-level netlists, parsers, generators.
+- :mod:`repro.bayesian` -- the exact inference engine (factors, junction
+  trees, variable elimination, sampling).
+- :mod:`repro.core` -- the LIDAG switching model (the paper's
+  contribution) and multi-BN segmentation.
+- :mod:`repro.baselines` -- logic simulation ground truth and classical
+  approximate estimators.
+- :mod:`repro.bdd` -- ROBDDs with exact signal probability.
+- :mod:`repro.power` -- switched-capacitance power model.
+- :mod:`repro.analysis` -- error metrics and report tables.
+- :mod:`repro.experiments` -- the paper's tables and figures.
+"""
+
+from repro.core import (
+    CorrelatedGroupInputs,
+    IndependentInputs,
+    SegmentedEstimator,
+    SwitchingActivityEstimator,
+    SwitchingEstimate,
+    TemporalInputs,
+    build_lidag,
+    exact_switching_by_enumeration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorrelatedGroupInputs",
+    "IndependentInputs",
+    "SegmentedEstimator",
+    "SwitchingActivityEstimator",
+    "SwitchingEstimate",
+    "TemporalInputs",
+    "build_lidag",
+    "exact_switching_by_enumeration",
+    "__version__",
+]

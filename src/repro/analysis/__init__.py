@@ -1,0 +1,15 @@
+"""Error metrics, timing helpers and table formatting for experiments."""
+
+from repro.analysis.metrics import (
+    ErrorStats,
+    error_statistics,
+    percent_error_of_means,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "ErrorStats",
+    "error_statistics",
+    "format_table",
+    "percent_error_of_means",
+]

@@ -1,0 +1,77 @@
+"""Error metrics matching the paper's Table 1 columns.
+
+Per circuit the paper reports, over all nodes:
+
+- ``µ Err``: mean absolute error between estimated and simulated
+  switching activity,
+- ``σ Err``: standard deviation of that error,
+- ``% Error``: relative difference of the *average* switching activity
+  (estimated vs. simulated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Node-level error statistics between two activity maps."""
+
+    mean_abs_error: float
+    std_error: float
+    max_abs_error: float
+    percent_error_of_means: float
+    n_lines: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "mu_err": self.mean_abs_error,
+            "sigma_err": self.std_error,
+            "max_err": self.max_abs_error,
+            "pct_err": self.percent_error_of_means,
+            "lines": self.n_lines,
+        }
+
+
+def error_statistics(
+    estimated: Mapping[str, float], reference: Mapping[str, float]
+) -> ErrorStats:
+    """Compute Table 1-style error statistics.
+
+    Parameters
+    ----------
+    estimated, reference:
+        Switching activity per line; keys must match exactly (use the
+        same circuit's line set for both).
+    """
+    if set(estimated) != set(reference):
+        missing = set(estimated) ^ set(reference)
+        raise KeyError(f"line sets differ; symmetric difference {sorted(missing)[:5]}")
+    if not estimated:
+        raise ValueError("empty activity maps")
+    lines = sorted(estimated)
+    est = np.array([estimated[ln] for ln in lines])
+    ref = np.array([reference[ln] for ln in lines])
+    errors = est - ref
+    return ErrorStats(
+        mean_abs_error=float(np.mean(np.abs(errors))),
+        std_error=float(np.std(errors)),
+        max_abs_error=float(np.max(np.abs(errors))),
+        percent_error_of_means=percent_error_of_means(estimated, reference),
+        n_lines=len(lines),
+    )
+
+
+def percent_error_of_means(
+    estimated: Mapping[str, float], reference: Mapping[str, float]
+) -> float:
+    """``100 * |mean(est) - mean(ref)| / mean(ref)`` (Table 1's %Error)."""
+    est_mean = float(np.mean(list(estimated.values())))
+    ref_mean = float(np.mean(list(reference.values())))
+    if ref_mean == 0:
+        return 0.0 if est_mean == 0 else float("inf")
+    return 100.0 * abs(est_mean - ref_mean) / ref_mean

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 10 ** -precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are fixed-point at ``precision`` digits (general format for
+    extreme magnitudes); columns auto-size to the widest cell.
+    """
+    text_rows: List[List[str]] = [
+        [_format_cell(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def rows_from_dicts(
+    dicts: Iterable[Mapping[str, Cell]], keys: Sequence[str]
+) -> List[List[Cell]]:
+    """Extract ordered rows from a list of dict records."""
+    return [[record.get(k, "-") for k in keys] for record in dicts]

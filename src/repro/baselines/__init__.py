@@ -1,0 +1,32 @@
+"""Reference and comparison estimators.
+
+- :mod:`repro.baselines.simulation` -- vectorized zero-delay logic
+  simulation; the ground truth of the paper's Tables 1 and 2.
+- :mod:`repro.baselines.montecarlo` -- Monte-Carlo estimation with a
+  statistical stopping criterion (Burch/Najm style).
+- :mod:`repro.baselines.independent` -- spatial-independence signal
+  probability propagation and Najm-style transition density.
+- :mod:`repro.baselines.pairwise` -- Ercolani/Marculescu-style pairwise
+  correlation-coefficient propagation.
+- :mod:`repro.baselines.local` -- depth-bounded exact local-cone
+  propagation (the "approximate higher-order correlation" class of
+  Schneider et al.).
+"""
+
+from repro.baselines.independent import (
+    independence_switching,
+    transition_density,
+)
+from repro.baselines.local import local_cone_switching
+from repro.baselines.montecarlo import monte_carlo_switching
+from repro.baselines.pairwise import pairwise_switching
+from repro.baselines.simulation import simulate_switching
+
+__all__ = [
+    "independence_switching",
+    "local_cone_switching",
+    "monte_carlo_switching",
+    "pairwise_switching",
+    "simulate_switching",
+    "transition_density",
+]

@@ -1,0 +1,380 @@
+"""Junction tree construction and Hugin-style message passing.
+
+This is the compilation + propagation machinery of the paper's Section 5:
+
+1. moralize the Bayesian network's DAG,
+2. triangulate the moral graph (greedy elimination order),
+3. extract maximal cliques and connect them into a junction tree (a
+   maximum-weight spanning tree over separator sizes, which for chordal
+   graphs guarantees the running intersection property),
+4. assign each CPD to a containing clique and form clique potentials,
+5. calibrate by two-phase message passing (collect toward a root, then
+   distribute), after which every clique potential is the exact joint
+   marginal of its scope times the probability of the evidence.
+
+The *compile once, propagate per input-statistics* split the paper
+advertises maps to :meth:`JunctionTree.from_network` (steps 1-3, slow)
+versus :meth:`JunctionTree.update_cpds` + :meth:`JunctionTree.calibrate`
+(steps 4-5, fast).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.bayesian.cpd import TabularCPD
+from repro.bayesian.factor import Factor, factor_product
+from repro.bayesian.moral import moral_graph
+from repro.bayesian.network import BayesianNetwork
+from repro.bayesian.triangulate import elimination_cliques, triangulate
+
+
+class JunctionTreeError(RuntimeError):
+    """Raised for structural or calibration failures."""
+
+
+class CliqueBudgetExceeded(RuntimeError):
+    """The triangulation produced a clique whose table would exceed the
+    caller's state-space budget.  Raised *before* any table is
+    materialized."""
+
+
+class JunctionTree:
+    """A calibrated junction tree over a Bayesian network.
+
+    Do not call the constructor directly; use :meth:`from_network`.
+    """
+
+    def __init__(
+        self,
+        bn: BayesianNetwork,
+        cliques: List[frozenset],
+        tree: nx.Graph,
+        elimination_order: List[str],
+        fill_ins: List[Tuple[str, str]],
+    ):
+        self._bn = bn
+        self.cliques = cliques
+        self.tree = tree
+        self.elimination_order = elimination_order
+        self.fill_ins = fill_ins
+        self._cardinalities = {n: bn.cardinality(n) for n in bn.nodes}
+
+        #: index of one clique containing each variable (for marginals)
+        self._home_clique: Dict[str, int] = {}
+        for idx, clique in enumerate(cliques):
+            for var in clique:
+                self._home_clique.setdefault(var, idx)
+
+        #: clique index each CPD is assigned to
+        self._cpd_assignment: Dict[str, int] = {}
+        for node in bn.nodes:
+            family = set(bn.parents(node)) | {node}
+            for idx, clique in enumerate(cliques):
+                if family <= clique:
+                    self._cpd_assignment[node] = idx
+                    break
+            else:
+                raise JunctionTreeError(
+                    f"no clique contains the family of {node!r}; "
+                    "triangulation is inconsistent with the moral graph"
+                )
+
+        self._evidence: Dict[str, int] = {}
+        self._potentials: List[Factor] = []
+        self._separators: Dict[frozenset, Factor] = {}
+        self._calibrated = False
+        #: cached per-clique product of assigned CPD factors (no
+        #: evidence); lets update_cpds re-multiply only touched cliques
+        self._cpd_products: Optional[List[Factor]] = None
+        self._init_potentials()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_network(
+        cls,
+        bn: BayesianNetwork,
+        heuristic: str = "min_fill",
+        elimination_order: Optional[Sequence[str]] = None,
+        max_clique_states: Optional[int] = None,
+    ) -> "JunctionTree":
+        """Compile a Bayesian network into a junction tree.
+
+        Parameters
+        ----------
+        bn:
+            The network; must validate.
+        heuristic:
+            Elimination-order heuristic (``"min_fill"`` or
+            ``"min_degree"``) when ``elimination_order`` is not given.
+        elimination_order:
+            Explicit elimination order (overrides the heuristic).
+        max_clique_states:
+            If given, raise :class:`CliqueBudgetExceeded` before
+            materializing any table whose clique exceeds this many
+            entries.
+        """
+        bn.validate()
+        moral = moral_graph(bn)
+        cards = {n: bn.cardinality(n) for n in bn.nodes}
+        chordal, order, fills = triangulate(
+            moral, order=elimination_order, heuristic=heuristic, cardinalities=cards
+        )
+        cliques = elimination_cliques(chordal, order)
+        if max_clique_states is not None:
+            from repro.bayesian.triangulate import max_clique_state_space
+
+            worst = max_clique_state_space(cliques, cards)
+            if worst > max_clique_states:
+                raise CliqueBudgetExceeded(
+                    f"{bn.name}: largest clique needs {worst} entries "
+                    f"(budget {max_clique_states})"
+                )
+        tree = cls._build_tree(cliques)
+        return cls(bn, cliques, tree, order, fills)
+
+    @staticmethod
+    def _build_tree(cliques: List[frozenset]) -> nx.Graph:
+        """Maximum-weight spanning tree over pairwise separator sizes."""
+        candidate = nx.Graph()
+        candidate.add_nodes_from(range(len(cliques)))
+        for i in range(len(cliques)):
+            for j in range(i + 1, len(cliques)):
+                weight = len(cliques[i] & cliques[j])
+                if weight > 0:
+                    candidate.add_edge(i, j, weight=weight)
+        tree = nx.Graph()
+        tree.add_nodes_from(range(len(cliques)))
+        # Maximum spanning forest; empty-separator components stay apart.
+        for u, v, data in nx.maximum_spanning_edges(candidate, data=True):
+            tree.add_edge(u, v, weight=data["weight"])
+        return tree
+
+    def _clique_cpd_product(self, idx: int) -> Factor:
+        """Product of the CPD factors assigned to clique ``idx``, over
+        the clique's full scope."""
+        clique = self.cliques[idx]
+        base = Factor.uniform(
+            sorted(clique), [self._cardinalities[v] for v in sorted(clique)]
+        )
+        members = [
+            self._bn.cpd(node).to_factor()
+            for node, assigned in self._cpd_assignment.items()
+            if assigned == idx
+        ]
+        return factor_product([base] + members)
+
+    def _init_potentials(self) -> None:
+        """(Re)build clique potentials from cached CPD products plus the
+        current evidence, and reset all separators."""
+        if self._cpd_products is None:
+            self._cpd_products = [
+                self._clique_cpd_product(idx) for idx in range(len(self.cliques))
+            ]
+        self._potentials = list(self._cpd_products)
+        for var, state in self._evidence.items():
+            idx = self._home_clique[var]
+            indicator = Factor.indicator(var, self._cardinalities[var], state)
+            self._potentials[idx] = self._potentials[idx].product(indicator)
+        self._separators = {}
+        for u, v in self.tree.edges:
+            sep = self.cliques[u] & self.cliques[v]
+            self._separators[frozenset((u, v))] = Factor.uniform(
+                sorted(sep), [self._cardinalities[x] for x in sorted(sep)]
+            )
+        self._calibrated = False
+
+    # ------------------------------------------------------------------
+    # Evidence & CPD updates
+    # ------------------------------------------------------------------
+
+    def set_evidence(self, evidence: Mapping[str, int]) -> None:
+        """Fix observed states; takes effect at the next calibration."""
+        for var, state in evidence.items():
+            if var not in self._cardinalities:
+                raise KeyError(f"unknown variable {var!r}")
+            if not 0 <= state < self._cardinalities[var]:
+                raise ValueError(f"state {state} out of range for {var!r}")
+        self._evidence.update(evidence)
+        self._init_potentials()
+
+    def clear_evidence(self) -> None:
+        self._evidence = {}
+        self._init_potentials()
+
+    def update_cpds(self, cpds: Iterable[TabularCPD]) -> None:
+        """Swap in new CPDs (same structure) without recompiling.
+
+        This is the paper's fast re-propagation path: changing the input
+        statistics of a compiled circuit only replaces root CPDs, then
+        recalibrates.
+        """
+        cpds = list(cpds)
+        for cpd in cpds:
+            if cpd.variable not in self._cpd_assignment:
+                raise KeyError(f"unknown node {cpd.variable!r}")
+            old = self._bn.cpd(cpd.variable)
+            if tuple(cpd.parents) != tuple(old.parents):
+                raise ValueError(
+                    f"new CPD for {cpd.variable!r} changes parents "
+                    f"{old.parents} -> {cpd.parents}; recompile instead"
+                )
+            if cpd.cardinality != old.cardinality:
+                raise ValueError(f"new CPD for {cpd.variable!r} changes cardinality")
+            self._bn._cpds[cpd.variable] = cpd
+        # Re-multiply only the cliques whose assigned CPDs changed.
+        if self._cpd_products is not None:
+            affected = {self._cpd_assignment[c.variable] for c in cpds}
+            for idx in affected:
+                self._cpd_products[idx] = self._clique_cpd_product(idx)
+        self._init_potentials()
+
+    # ------------------------------------------------------------------
+    # Calibration (two-phase message passing)
+    # ------------------------------------------------------------------
+
+    def calibrate(self) -> None:
+        """Run collect + distribute over every tree component."""
+        seen: Set[int] = set()
+        for root in self.tree.nodes:
+            if root in seen:
+                continue
+            component_order = self._dfs_order(root)
+            seen.update(node for node, _ in component_order)
+            # Collect: leaves toward root (reverse DFS order).
+            for node, parent in reversed(component_order):
+                if parent is not None:
+                    self._pass_message(node, parent)
+            # Distribute: root toward leaves.
+            for node, parent in component_order:
+                if parent is not None:
+                    self._pass_message(parent, node)
+        self._calibrated = True
+
+    def _dfs_order(self, root: int) -> List[Tuple[int, Optional[int]]]:
+        """(node, parent) pairs in DFS pre-order from ``root``."""
+        order: List[Tuple[int, Optional[int]]] = []
+        stack: List[Tuple[int, Optional[int]]] = [(root, None)]
+        visited: Set[int] = set()
+        while stack:
+            node, parent = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append((node, parent))
+            for neighbor in self.tree.neighbors(node):
+                if neighbor not in visited:
+                    stack.append((neighbor, node))
+        return order
+
+    def _pass_message(self, source: int, target: int) -> None:
+        """Hugin update: absorb ``source``'s separator marginal into ``target``."""
+        key = frozenset((source, target))
+        separator_vars = self._separators[key].variables
+        new_sep = self._potentials[source].marginal_onto(separator_vars)
+        ratio = new_sep.divide(self._separators[key])
+        self._potentials[target] = self._potentials[target].product(ratio)
+        self._separators[key] = new_sep
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _require_calibration(self) -> None:
+        if not self._calibrated:
+            self.calibrate()
+
+    def marginal(self, variable: str) -> np.ndarray:
+        """Posterior marginal ``P(variable | evidence)`` as a vector."""
+        self._require_calibration()
+        idx = self._home_clique.get(variable)
+        if idx is None:
+            raise KeyError(f"unknown variable {variable!r}")
+        factor = self._potentials[idx].marginal_onto([variable])
+        return factor.normalize().values
+
+    def joint_marginal(self, variables: Sequence[str]) -> Factor:
+        """Joint posterior of variables that share a clique.
+
+        Raises :class:`JunctionTreeError` if no clique contains all of
+        them (an arbitrary joint would require out-of-clique inference;
+        use :func:`repro.bayesian.elimination.variable_elimination`).
+        """
+        self._require_calibration()
+        wanted = set(variables)
+        for idx, clique in enumerate(self.cliques):
+            if wanted <= clique:
+                factor = self._potentials[idx].marginal_onto(list(wanted))
+                return factor.normalize().permute(list(variables))
+        raise JunctionTreeError(f"no clique jointly contains {sorted(wanted)}")
+
+    def probability_of_evidence(self) -> float:
+        """P(evidence); 1.0 when no evidence is set.
+
+        With multiple tree components the per-component masses multiply.
+        """
+        self._require_calibration()
+        seen: Set[int] = set()
+        prob = 1.0
+        for root in self.tree.nodes:
+            if root in seen:
+                continue
+            seen.update(node for node, _ in self._dfs_order(root))
+            prob *= self._potentials[root].total()
+        return float(prob)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def check_running_intersection(self) -> bool:
+        """Verify the junction-tree property.
+
+        For every variable, the cliques containing it must induce a
+        connected subtree.
+        """
+        for variable in self._cardinalities:
+            containing = [i for i, c in enumerate(self.cliques) if variable in c]
+            if len(containing) <= 1:
+                continue
+            sub = self.tree.subgraph(containing)
+            if not nx.is_connected(sub):
+                return False
+        return True
+
+    def check_calibration(self, atol: float = 1e-9) -> bool:
+        """Verify neighbouring cliques agree on their separators."""
+        self._require_calibration()
+        for u, v in self.tree.edges:
+            sep_vars = self._separators[frozenset((u, v))].variables
+            mu = self._potentials[u].marginal_onto(sep_vars)
+            mv = self._potentials[v].marginal_onto(sep_vars)
+            if not mu.allclose(mv, atol=atol):
+                return False
+        return True
+
+    def max_clique_size(self) -> int:
+        """State-space size of the largest clique table."""
+        return max(p.size for p in self._potentials) if self._potentials else 0
+
+    def stats(self) -> Dict[str, float]:
+        """Structure statistics for reports."""
+        return {
+            "cliques": len(self.cliques),
+            "max_clique_vars": max((len(c) for c in self.cliques), default=0),
+            "max_clique_states": self.max_clique_size(),
+            "fill_ins": len(self.fill_ins),
+            "total_table_entries": sum(p.size for p in self._potentials),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"JunctionTree(cliques={len(self.cliques)}, "
+            f"max_clique={max((len(c) for c in self.cliques), default=0)})"
+        )

@@ -1,0 +1,37 @@
+"""Moralization -- step one of the compilation pipeline (paper Section 5).
+
+The moral graph of a DAG adds an undirected edge between every pair of
+parents that share a child ("marrying the parents") and then drops all
+edge directions.  It is the Markov-structure view of the factorized
+joint distribution: every CPD's scope (a node plus its parents) induces
+a clique.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+from repro.bayesian.dsep import moralize_graph
+from repro.bayesian.network import BayesianNetwork
+
+
+def moral_graph(bn: BayesianNetwork) -> nx.Graph:
+    """The moral graph of a Bayesian network's DAG."""
+    return moralize_graph(bn.to_digraph())
+
+
+def moral_graph_with_fill_report(bn: BayesianNetwork) -> Tuple[nx.Graph, list]:
+    """Moral graph plus the list of marriage edges that were added.
+
+    Useful for reproducing the paper's Figure 3, which highlights the
+    moralization edge (X1, X2) separately from the triangulation fill-in.
+    """
+    dag = bn.to_digraph()
+    moral = moralize_graph(dag)
+    skeleton = {frozenset((u, v)) for u, v in dag.edges}
+    marriages = [
+        (u, v) for u, v in moral.edges if frozenset((u, v)) not in skeleton
+    ]
+    return moral, marriages

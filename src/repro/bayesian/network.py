@@ -1,0 +1,159 @@
+"""The Bayesian network container: a DAG plus one CPD per node."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+import networkx as nx
+import numpy as np
+
+from repro.bayesian.cpd import TabularCPD
+from repro.bayesian.factor import Factor, factor_product
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network.
+
+    Nodes are added implicitly by attaching CPDs; the DAG structure is
+    the union of the CPD parent relations.  The network validates itself
+    incrementally: cardinalities must be consistent, parents must exist
+    (by the time :meth:`validate` runs), and the graph must stay acyclic.
+    """
+
+    def __init__(self, name: str = "bn"):
+        self.name = name
+        self._cpds: Dict[str, TabularCPD] = {}
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_cpd(self, cpd: TabularCPD) -> None:
+        """Attach a CPD, creating the node and its incoming edges."""
+        if cpd.variable in self._cpds:
+            raise ValueError(f"{self.name}: node {cpd.variable!r} already has a CPD")
+        pre_existing = cpd.variable in self._graph
+        new_edges = [
+            (parent, cpd.variable)
+            for parent in cpd.parents
+            if not self._graph.has_edge(parent, cpd.variable)
+        ]
+        # A brand-new node, or one without outgoing edges, cannot close a
+        # cycle by acquiring parents -- skip the O(V+E) check for the
+        # common topological-insertion pattern.
+        needs_cycle_check = (
+            pre_existing and self._graph.out_degree(cpd.variable) > 0 and new_edges
+        )
+        self._cpds[cpd.variable] = cpd
+        self._graph.add_node(cpd.variable)
+        self._graph.add_edges_from(new_edges)
+        if needs_cycle_check and not nx.is_directed_acyclic_graph(self._graph):
+            # Roll back exactly what this call introduced.
+            self._graph.remove_edges_from(new_edges)
+            if not pre_existing:
+                self._graph.remove_node(cpd.variable)
+            del self._cpds[cpd.variable]
+            raise ValueError(f"{self.name}: adding {cpd.variable!r} creates a cycle")
+
+    def validate(self) -> None:
+        """Check the network is complete and internally consistent."""
+        for node in self._graph.nodes:
+            if node not in self._cpds:
+                raise ValueError(f"{self.name}: node {node!r} has no CPD")
+        for cpd in self._cpds.values():
+            for i, parent in enumerate(cpd.parents):
+                declared = cpd.factor.values.shape[i]
+                actual = self._cpds[parent].cardinality
+                if declared != actual:
+                    raise ValueError(
+                        f"{self.name}: CPD of {cpd.variable!r} assumes parent "
+                        f"{parent!r} has {declared} states but it has {actual}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    @property
+    def edges(self) -> List[tuple]:
+        return list(self._graph.edges)
+
+    def parents(self, node: str) -> List[str]:
+        return list(self._cpds[node].parents)
+
+    def children(self, node: str) -> List[str]:
+        return list(self._graph.successors(node))
+
+    def cardinality(self, node: str) -> int:
+        return self._cpds[node].cardinality
+
+    def cpd(self, node: str) -> TabularCPD:
+        return self._cpds[node]
+
+    def cpds(self) -> List[TabularCPD]:
+        return list(self._cpds.values())
+
+    def topological_order(self) -> List[str]:
+        return list(nx.topological_sort(self._graph))
+
+    def roots(self) -> List[str]:
+        """Nodes with no parents."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def markov_blanket(self, node: str) -> Set[str]:
+        """Parents, children, and children's other parents of ``node``."""
+        blanket: Set[str] = set(self._graph.predecessors(node))
+        for child in self._graph.successors(node):
+            blanket.add(child)
+            blanket.update(self._graph.predecessors(child))
+        blanket.discard(node)
+        return blanket
+
+    def to_digraph(self) -> nx.DiGraph:
+        """A copy of the underlying DAG."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # Distribution queries (exact, exponential -- small networks only)
+    # ------------------------------------------------------------------
+
+    def joint_factor(self) -> Factor:
+        """The full joint distribution as one factor.
+
+        Exponential in the number of nodes; intended for test oracles and
+        tiny examples (Eq. 6 of the paper).
+        """
+        self.validate()
+        return factor_product(cpd.to_factor() for cpd in self._cpds.values())
+
+    def joint_probability(self, assignment: Mapping[str, int]) -> float:
+        """P(full assignment) via the chain-rule factorization (Eq. 6)."""
+        prob = 1.0
+        for node, cpd in self._cpds.items():
+            prob *= cpd.probability(
+                assignment[node], {p: assignment[p] for p in cpd.parents}
+            )
+        return prob
+
+    def brute_force_marginal(
+        self, node: str, evidence: Optional[Mapping[str, int]] = None
+    ) -> np.ndarray:
+        """Marginal of one node by summing the full joint (test oracle)."""
+        joint = self.joint_factor()
+        if evidence:
+            for var, state in evidence.items():
+                joint = joint.product(
+                    Factor.indicator(var, self.cardinality(var), state)
+                )
+        return joint.marginal_onto([node]).normalize().values
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork({self.name!r}, nodes={self._graph.number_of_nodes()}, "
+            f"edges={self._graph.number_of_edges()})"
+        )

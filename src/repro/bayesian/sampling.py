@@ -1,0 +1,120 @@
+"""Approximate inference by sampling.
+
+Forward (ancestral) sampling and likelihood weighting.  These serve as
+statistical cross-checks of the exact engines and as the machinery
+behind statistically-simulative baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bayesian.network import BayesianNetwork
+
+
+def forward_sample(
+    bn: BayesianNetwork,
+    n_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Draw ancestral samples from the joint distribution.
+
+    Returns a mapping from variable name to an integer state array of
+    length ``n_samples``.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    rng = rng or np.random.default_rng()
+    bn.validate()
+    samples: Dict[str, np.ndarray] = {}
+    for node in bn.topological_order():
+        cpd = bn.cpd(node)
+        card = cpd.cardinality
+        table = cpd.to_factor().values
+        if not cpd.parents:
+            probs = table
+            cdf = np.cumsum(probs)
+            u = rng.random(n_samples)
+            samples[node] = np.searchsorted(cdf, u).clip(0, card - 1).astype(np.int64)
+        else:
+            # Row-index each sample's parent configuration, then inverse-CDF.
+            flat_table = table.reshape(-1, card)
+            strides = np.ones(len(cpd.parents), dtype=np.int64)
+            for k in range(len(cpd.parents) - 2, -1, -1):
+                strides[k] = strides[k + 1] * table.shape[k + 1]
+            row = np.zeros(n_samples, dtype=np.int64)
+            for k, parent in enumerate(cpd.parents):
+                row += samples[parent] * strides[k]
+            cdfs = np.cumsum(flat_table[row], axis=1)
+            u = rng.random(n_samples)[:, None]
+            samples[node] = (u > cdfs[:, :-1]).sum(axis=1).astype(np.int64)
+    return samples
+
+
+def sample_marginal(
+    bn: BayesianNetwork,
+    variable: str,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of a prior marginal."""
+    samples = forward_sample(bn, n_samples, rng)
+    card = bn.cardinality(variable)
+    counts = np.bincount(samples[variable], minlength=card).astype(np.float64)
+    return counts / counts.sum()
+
+
+def likelihood_weighting(
+    bn: BayesianNetwork,
+    targets: Sequence[str],
+    evidence: Mapping[str, int],
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Posterior marginals under evidence via likelihood weighting.
+
+    Evidence variables are clamped; each sample is weighted by the
+    likelihood of the clamped values given its sampled parents.
+    """
+    rng = rng or np.random.default_rng()
+    bn.validate()
+    evidence = dict(evidence)
+    samples: Dict[str, np.ndarray] = {}
+    weights = np.ones(n_samples)
+    for node in bn.topological_order():
+        cpd = bn.cpd(node)
+        card = cpd.cardinality
+        table = cpd.to_factor().values
+        flat_table = table.reshape(-1, card)
+        if cpd.parents:
+            strides = np.ones(len(cpd.parents), dtype=np.int64)
+            for k in range(len(cpd.parents) - 2, -1, -1):
+                strides[k] = strides[k + 1] * table.shape[k + 1]
+            row = np.zeros(n_samples, dtype=np.int64)
+            for k, parent in enumerate(cpd.parents):
+                row += samples[parent] * strides[k]
+        else:
+            row = np.zeros(n_samples, dtype=np.int64)
+        probs = flat_table[row]
+        if node in evidence:
+            state = evidence[node]
+            samples[node] = np.full(n_samples, state, dtype=np.int64)
+            weights *= probs[:, state]
+        else:
+            cdfs = np.cumsum(probs, axis=1)
+            u = rng.random(n_samples)[:, None]
+            samples[node] = (u > cdfs[:, :-1]).sum(axis=1).astype(np.int64)
+
+    total = weights.sum()
+    if total <= 0:
+        raise ZeroDivisionError("all sample weights are zero (impossible evidence?)")
+    result: Dict[str, np.ndarray] = {}
+    for target in targets:
+        card = bn.cardinality(target)
+        est = np.zeros(card)
+        for state in range(card):
+            est[state] = weights[samples[target] == state].sum()
+        result[target] = est / total
+    return result

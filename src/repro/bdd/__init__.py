@@ -1,0 +1,15 @@
+"""A small reduced ordered BDD (ROBDD) package.
+
+Stands in for the OBDD machinery of the paper's references [10] (Bryant)
+and [13] (tagged probabilistic simulation): Boolean functions of circuit
+lines are built bottom-up with the classic ``apply`` algorithm, and
+*exact* signal probabilities under independent inputs are computed by a
+weighted traversal.  Under temporally independent input streams the
+exact switching activity of a line is ``2 p (1 - p)`` with p from the
+BDD, which provides an independent exact cross-check of the Bayesian
+network on medium circuits.
+"""
+
+from repro.bdd.manager import BDDManager, build_line_bdds, exact_signal_probabilities
+
+__all__ = ["BDDManager", "build_line_bdds", "exact_signal_probabilities"]

@@ -1,0 +1,259 @@
+"""Reduced ordered binary decision diagrams with probability queries.
+
+Classic Bryant-style implementation: a shared unique table guarantees
+canonicity (two equivalent functions are the same node id), ``apply``
+memoizes on operand pairs, and reduction happens on the fly (no node
+with identical children, no duplicate (var, low, high) triples).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+class BDDManager:
+    """A shared-node ROBDD manager over a fixed variable order.
+
+    Parameters
+    ----------
+    variable_order:
+        Variable names, top of the diagram first.
+    max_nodes:
+        Safety valve: raise once the unique table exceeds this many
+        nodes (BDDs can blow up exponentially on multipliers).
+    """
+
+    def __init__(self, variable_order: Sequence[str], max_nodes: int = 2_000_000):
+        self.order: List[str] = list(variable_order)
+        if len(set(self.order)) != len(self.order):
+            raise ValueError("duplicate variables in order")
+        self._level: Dict[str, int] = {v: i for i, v in enumerate(self.order)}
+        self.max_nodes = max_nodes
+        # Node storage: nodes[id] = (level, low, high); terminals use
+        # level = +inf sentinel (len(order)).
+        self._nodes: List[Tuple[int, int, int]] = [
+            (len(self.order), ZERO, ZERO),  # ZERO
+            (len(self.order), ONE, ONE),  # ONE
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _make_node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            if node > self.max_nodes:
+                raise MemoryError(
+                    f"BDD exceeded {self.max_nodes} nodes; "
+                    "function too complex for this variable order"
+                )
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD of the single-variable function ``name``."""
+        if name not in self._level:
+            raise KeyError(f"unknown variable {name!r}")
+        return self._make_node(self._level[name], ZERO, ONE)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def level_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def children(self, node: int) -> Tuple[int, int]:
+        _, low, high = self._nodes[node]
+        return low, high
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self._apply("and", f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self._apply("or", f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self._apply("xor", f, g)
+
+    def negate(self, f: int) -> int:
+        return self._apply("xor", f, ONE)
+
+    def _terminal_op(self, op: str, f: int, g: int) -> Optional[int]:
+        if op == "and":
+            if f == ZERO or g == ZERO:
+                return ZERO
+            if f == ONE:
+                return g
+            if g == ONE:
+                return f
+            if f == g:
+                return f
+        elif op == "or":
+            if f == ONE or g == ONE:
+                return ONE
+            if f == ZERO:
+                return g
+            if g == ZERO:
+                return f
+            if f == g:
+                return f
+        elif op == "xor":
+            if f == g:
+                return ZERO
+            if f == ZERO:
+                return g
+            if g == ZERO:
+                return f
+        return None
+
+    def _apply(self, op: str, f: int, g: int) -> int:
+        terminal = self._terminal_op(op, f, g)
+        if terminal is not None:
+            return terminal
+        # Commutative ops: canonicalize the cache key.
+        key = (op, f, g) if f <= g else (op, g, f)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        f_level, f_low, f_high = self._nodes[f]
+        g_level, g_low, g_high = self._nodes[g]
+        level = min(f_level, g_level)
+        if f_level == level:
+            f0, f1 = f_low, f_high
+        else:
+            f0 = f1 = f
+        if g_level == level:
+            g0, g1 = g_low, g_high
+        else:
+            g0 = g1 = g
+        result = self._make_node(
+            level, self._apply(op, f0, g0), self._apply(op, f1, g1)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def apply_gate(self, gate_type: GateType, operands: Sequence[int]) -> int:
+        """Apply an n-ary circuit gate to BDD operands."""
+        if gate_type is GateType.BUF:
+            return operands[0]
+        if gate_type is GateType.NOT:
+            return self.negate(operands[0])
+        if gate_type in (GateType.AND, GateType.NAND):
+            result = operands[0]
+            for operand in operands[1:]:
+                result = self.apply_and(result, operand)
+            return self.negate(result) if gate_type is GateType.NAND else result
+        if gate_type in (GateType.OR, GateType.NOR):
+            result = operands[0]
+            for operand in operands[1:]:
+                result = self.apply_or(result, operand)
+            return self.negate(result) if gate_type is GateType.NOR else result
+        if gate_type in (GateType.XOR, GateType.XNOR):
+            result = operands[0]
+            for operand in operands[1:]:
+                result = self.apply_xor(result, operand)
+            return self.negate(result) if gate_type is GateType.XNOR else result
+        raise ValueError(f"unsupported gate type {gate_type}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Mapping[str, int]) -> int:
+        """Evaluate the function at a full variable assignment."""
+        while node > ONE:
+            level, low, high = self._nodes[node]
+            node = high if assignment[self.order[level]] else low
+        return node
+
+    def signal_probability(
+        self, node: int, probabilities: Mapping[str, float]
+    ) -> float:
+        """Exact ``P(f = 1)`` under independent variable probabilities.
+
+        Linear in the BDD size via a memoized weighted traversal --
+        the Parker-McCluskey computation made tractable by sharing.
+        """
+        memo: Dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+
+        def walk(n: int) -> float:
+            if n in memo:
+                return memo[n]
+            level, low, high = self._nodes[n]
+            p = float(probabilities[self.order[level]])
+            value = (1.0 - p) * walk(low) + p * walk(high)
+            memo[n] = value
+            return value
+
+        return walk(node)
+
+    def satisfy_count(self, node: int) -> int:
+        """Number of satisfying assignments over the full variable set.
+
+        Computed as the uniform-probability mass times ``2^n`` -- the
+        weighted traversal already handles skipped levels correctly.
+        """
+        fraction = self.signal_probability(node, {v: 0.5 for v in self.order})
+        return round(fraction * (1 << len(self.order)))
+
+
+def build_line_bdds(
+    circuit: Circuit,
+    lines: Optional[Sequence[str]] = None,
+    max_nodes: int = 2_000_000,
+) -> Tuple[BDDManager, Dict[str, int]]:
+    """Build BDDs for circuit lines in terms of the primary inputs.
+
+    Returns the manager and a map from line name to BDD node.  Raises
+    :class:`MemoryError` if the diagrams blow past ``max_nodes`` (e.g.
+    multiplier outputs).
+    """
+    manager = BDDManager(circuit.inputs, max_nodes=max_nodes)
+    nodes: Dict[str, int] = {name: manager.var(name) for name in circuit.inputs}
+    wanted = set(lines) if lines is not None else None
+    for line in circuit.topological_order():
+        gate = circuit.driver(line)
+        if gate is None:
+            continue
+        nodes[line] = manager.apply_gate(
+            gate.gate_type, [nodes[s] for s in gate.inputs]
+        )
+    if wanted is not None:
+        nodes = {ln: n for ln, n in nodes.items() if ln in wanted}
+    return manager, nodes
+
+
+def exact_signal_probabilities(
+    circuit: Circuit,
+    input_probabilities: Optional[Mapping[str, float]] = None,
+    max_nodes: int = 2_000_000,
+) -> Dict[str, float]:
+    """Exact P(line = 1) for every line under independent inputs."""
+    probs = dict(input_probabilities or {})
+    for name in circuit.inputs:
+        probs.setdefault(name, 0.5)
+    manager, nodes = build_line_bdds(circuit, max_nodes=max_nodes)
+    return {
+        line: manager.signal_probability(node, probs)
+        for line, node in nodes.items()
+    }

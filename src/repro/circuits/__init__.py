@@ -1,0 +1,44 @@
+"""Gate-level combinational circuit substrate.
+
+This package provides everything the switching-activity model needs from
+the circuit side:
+
+- :mod:`repro.circuits.gates` -- the Boolean gate library (n-ary AND, OR,
+  NAND, NOR, XOR, XNOR, plus NOT and BUF), with scalar and vectorized
+  evaluation.
+- :mod:`repro.circuits.netlist` -- the :class:`Circuit` netlist container
+  with structural queries (topological order, levels, fanout, fanin cones)
+  and evaluation.
+- :mod:`repro.circuits.bench` -- reader/writer for the ISCAS-85 ``.bench``
+  netlist format.
+- :mod:`repro.circuits.generate` -- structural circuit generators (adders,
+  ALUs, comparators, voters, parity trees, multipliers, random layered
+  netlists).
+- :mod:`repro.circuits.examples` -- small hand-built circuits, including
+  the exact five-gate circuit of the paper's Figure 1 and ISCAS c17.
+- :mod:`repro.circuits.suite` -- the named benchmark suite mirroring the
+  paper's Table 1 circuit list.
+- :mod:`repro.circuits.verilog` -- reader/writer for a gate-level
+  structural Verilog subset.
+- :mod:`repro.circuits.iscas` -- functional ISCAS-85 stand-ins
+  (priority controller, SEC/ECC, composable datapaths).
+"""
+
+from repro.circuits.bench import parse_bench, parse_bench_file, to_bench
+from repro.circuits.gates import GATE_LIBRARY, GateType, evaluate_gate
+from repro.circuits.netlist import Circuit, Gate
+from repro.circuits.verilog import parse_verilog, parse_verilog_file, to_verilog
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "GATE_LIBRARY",
+    "evaluate_gate",
+    "parse_bench",
+    "parse_bench_file",
+    "parse_verilog",
+    "parse_verilog_file",
+    "to_bench",
+    "to_verilog",
+]

@@ -1,0 +1,106 @@
+"""Reader and writer for the ISCAS-85 ``.bench`` netlist format.
+
+The format is line oriented::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+
+Sequential ``.bench`` files (ISCAS-89) additionally contain ``DFF`` cells;
+since this library models combinational switching, DFF cells are handled
+with the standard full-scan trick: each flip-flop output becomes a pseudo
+primary input and each flip-flop input a pseudo primary output.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.circuits.gates import resolve_gate_type
+from repro.circuits.netlist import Circuit, Gate
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*?)\s*\)$")
+
+
+class BenchFormatError(ValueError):
+    """Raised when a ``.bench`` file cannot be parsed."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` netlist text into a :class:`Circuit`.
+
+    Parameters
+    ----------
+    text:
+        Full contents of a ``.bench`` file.
+    name:
+        Name to give the resulting circuit.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _INPUT_RE.match(line)
+        if m:
+            inputs.append(m.group(1))
+            continue
+        m = _OUTPUT_RE.match(line)
+        if m:
+            outputs.append(m.group(1))
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            out, keyword, operand_text = m.groups()
+            operands = [s.strip() for s in operand_text.split(",") if s.strip()]
+            if not operands:
+                raise BenchFormatError(f"line {lineno}: gate {out!r} has no operands")
+            if keyword.upper() == "DFF":
+                # Full-scan conversion: FF output -> pseudo-PI, FF input -> pseudo-PO.
+                inputs.append(out)
+                outputs.extend(operands)
+                continue
+            gates.append(Gate(out, resolve_gate_type(keyword), tuple(operands)))
+            continue
+        raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+
+    if not inputs:
+        raise BenchFormatError("netlist declares no INPUT lines")
+    return Circuit(name, inputs, gates, outputs or None)
+
+
+def parse_bench_file(path: Union[str, Path], name: str = None) -> Circuit:
+    """Read and parse a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name or path.stem)
+
+
+def to_bench(circuit: Circuit) -> str:
+    """Serialize a :class:`Circuit` back to ``.bench`` text.
+
+    The output round-trips through :func:`parse_bench` to an equivalent
+    circuit (same lines, gates, inputs, outputs).
+    """
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({ln})" for ln in circuit.inputs)
+    lines.extend(f"OUTPUT({ln})" for ln in circuit.outputs)
+    lines.append("")
+    for out in circuit.topological_order():
+        gate = circuit.driver(out)
+        if gate is not None:
+            keyword = "BUFF" if gate.gate_type.value == "BUF" else gate.gate_type.value
+            lines.append(f"{out} = {keyword}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to disk in ``.bench`` format."""
+    Path(path).write_text(to_bench(circuit))

@@ -1,0 +1,96 @@
+"""Small hand-built circuits used throughout the paper, tests and docs."""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Gate
+
+#: Canonical ISCAS-85 c17 netlist (public domain, six NAND gates).
+C17_BENCH = """\
+# c17 -- ISCAS-85 benchmark, 5 inputs, 2 outputs, 6 NAND gates
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+def c17() -> Circuit:
+    """The exact ISCAS-85 c17 benchmark circuit."""
+    from repro.circuits.bench import parse_bench
+
+    return parse_bench(C17_BENCH, name="c17")
+
+
+def paper_circuit() -> Circuit:
+    """The five-gate, nine-line circuit of the paper's Figure 1.
+
+    The paper fixes the topology through Eq. 7's factorization::
+
+        P(x9|x7,x8) P(x8|x4) P(x7|x5,x6) P(x6|x3,x4) P(x5|x1,x2)
+
+    and states that line 5 is driven by an OR gate on lines 1 and 2.  The
+    remaining gate types are not given in the text; we pick natural ones.
+    Structure -- which determines Figures 2-4 (LIDAG, moral/triangulated
+    graph, junction tree) -- matches the paper exactly: moralization adds
+    the (1,2), (3,4), (5,6), (7,8) marriages and triangulation adds the
+    (4,7) fill-in.
+    """
+    gates = [
+        Gate("5", GateType.OR, ("1", "2")),
+        Gate("6", GateType.AND, ("3", "4")),
+        Gate("7", GateType.AND, ("5", "6")),
+        Gate("8", GateType.NOT, ("4",)),
+        Gate("9", GateType.OR, ("7", "8")),
+    ]
+    return Circuit("paper-fig1", ["1", "2", "3", "4"], gates, ["9"])
+
+
+def full_adder_circuit() -> Circuit:
+    """A single-bit full adder (sum, carry) -- handy tiny test circuit."""
+    gates = [
+        Gate("axb", GateType.XOR, ("a", "b")),
+        Gate("sum", GateType.XOR, ("axb", "cin")),
+        Gate("ab", GateType.AND, ("a", "b")),
+        Gate("axb_cin", GateType.AND, ("axb", "cin")),
+        Gate("cout", GateType.OR, ("ab", "axb_cin")),
+    ]
+    return Circuit("full-adder", ["a", "b", "cin"], gates, ["sum", "cout"])
+
+
+def reconvergent_circuit() -> Circuit:
+    """Minimal reconvergent-fanout circuit: ``y = AND(a, NOT a)`` == 0.
+
+    Independence-based estimators get this circuit's signal probability
+    (and hence switching) wrong, which makes it the canonical witness for
+    why dependency-preserving models matter.
+    """
+    gates = [
+        Gate("na", GateType.NOT, ("a",)),
+        Gate("y", GateType.AND, ("a", "na")),
+    ]
+    return Circuit("reconvergent", ["a"], gates, ["y"])
+
+
+def xor_chain_circuit(length: int = 4) -> Circuit:
+    """A chain of 2-input XORs -- deep but treewidth-1 circuit."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    inputs = [f"i{k}" for k in range(length + 1)]
+    gates = []
+    prev = inputs[0]
+    for k in range(length):
+        out = f"x{k}"
+        gates.append(Gate(out, GateType.XOR, (prev, inputs[k + 1])))
+        prev = out
+    return Circuit(f"xor-chain-{length}", inputs, gates, [prev])

@@ -1,0 +1,166 @@
+"""Boolean gate library.
+
+Every gate type used by the ISCAS-85/MCNC benchmark netlists is modeled:
+n-ary AND, OR, NAND, NOR, XOR, XNOR plus the unary NOT and BUF.  Gates
+evaluate on plain Python ints (0/1), Python bools, or numpy boolean/int
+arrays -- the same code path serves single-pattern evaluation and the
+vectorized logic simulator.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import reduce
+from typing import Sequence
+
+import numpy as np
+
+
+class GateType(str, Enum):
+    """Enumeration of supported combinational gate types.
+
+    The string values match the keywords used by the ISCAS-85 ``.bench``
+    format, which makes parsing and pretty-printing trivial.
+    """
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types that accept exactly one input.
+UNARY_GATES = frozenset({GateType.NOT, GateType.BUF})
+
+#: Gate types that accept two or more inputs.
+NARY_GATES = frozenset(
+    {GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.XOR, GateType.XNOR}
+)
+
+#: Aliases seen in the wild in ``.bench`` files, mapped to canonical types.
+GATE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "INV": GateType.NOT,
+    "NOT": GateType.NOT,
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}
+
+
+def _as_int(value):
+    """Normalize a scalar logic value to int 0/1 (arrays pass through)."""
+    if isinstance(value, np.ndarray):
+        return value.astype(np.uint8)
+    return int(bool(value))
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence) -> object:
+    """Evaluate one gate on scalar or numpy-array logic values.
+
+    Parameters
+    ----------
+    gate_type:
+        The gate's Boolean function.
+    inputs:
+        One value per gate input.  Values may be 0/1 ints, bools, or numpy
+        arrays of identical shape; arrays are combined elementwise.
+
+    Returns
+    -------
+    The output value, with the same "shape" as the inputs (scalar in,
+    scalar out; array in, array out).
+
+    Raises
+    ------
+    ValueError
+        If the number of inputs is illegal for the gate type.
+    """
+    arity = len(inputs)
+    if gate_type in UNARY_GATES:
+        if arity != 1:
+            raise ValueError(f"{gate_type} takes exactly 1 input, got {arity}")
+    elif arity < 1:
+        raise ValueError(f"{gate_type} needs at least 1 input, got {arity}")
+
+    vals = [_as_int(v) for v in inputs]
+
+    if gate_type is GateType.BUF:
+        result = vals[0]
+    elif gate_type is GateType.NOT:
+        result = 1 - vals[0]
+    elif gate_type is GateType.AND:
+        result = reduce(lambda a, b: a & b, vals)
+    elif gate_type is GateType.NAND:
+        result = 1 - reduce(lambda a, b: a & b, vals)
+    elif gate_type is GateType.OR:
+        result = reduce(lambda a, b: a | b, vals)
+    elif gate_type is GateType.NOR:
+        result = 1 - reduce(lambda a, b: a | b, vals)
+    elif gate_type is GateType.XOR:
+        result = reduce(lambda a, b: a ^ b, vals)
+    elif gate_type is GateType.XNOR:
+        result = 1 - reduce(lambda a, b: a ^ b, vals)
+    else:  # pragma: no cover - exhaustive over enum
+        raise ValueError(f"unknown gate type {gate_type!r}")
+
+    if isinstance(result, np.ndarray):
+        return result.astype(np.uint8)
+    return int(result)
+
+
+def gate_truth_table(gate_type: GateType, arity: int) -> list[int]:
+    """Return the gate's truth table as a flat list indexed by input bits.
+
+    Entry ``k`` is the output for the input assignment whose bits are the
+    binary expansion of ``k`` with input 0 as the *most* significant bit
+    (i.e. lexicographic order over input tuples).
+    """
+    table = []
+    for k in range(2 ** arity):
+        bits = [(k >> (arity - 1 - i)) & 1 for i in range(arity)]
+        table.append(evaluate_gate(gate_type, bits))
+    return table
+
+
+def controlling_value(gate_type: GateType):
+    """Return the controlling input value of the gate, or ``None``.
+
+    A controlling value forces the gate output regardless of the other
+    inputs (0 for AND/NAND, 1 for OR/NOR).  XOR-family and unary gates
+    have no controlling value.
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        return 0
+    if gate_type in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def is_inverting(gate_type: GateType) -> bool:
+    """True for gates whose output is the complement of the base function."""
+    return gate_type in (GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR)
+
+
+def resolve_gate_type(name: str) -> GateType:
+    """Map a (possibly aliased, any-case) gate keyword to a :class:`GateType`."""
+    key = name.strip().upper()
+    if key not in GATE_ALIASES:
+        raise ValueError(f"unknown gate type keyword {name!r}")
+    return GATE_ALIASES[key]
+
+
+#: Mapping from canonical gate-name string to :class:`GateType`, exported
+#: for callers that want to enumerate the library.
+GATE_LIBRARY = {gt.value: gt for gt in GateType}

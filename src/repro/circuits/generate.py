@@ -1,0 +1,566 @@
+"""Structural circuit generators.
+
+These generators serve two purposes:
+
+1. Realistic, functionally meaningful workloads for examples, tests and
+   benchmarks (adders, ALUs, comparators, voters, multipliers...).
+2. Size-matched synthetic stand-ins for benchmark netlists that are not
+   redistributable (see ``DESIGN.md`` section 3): the random layered
+   generator produces netlists with controlled gate count, fan-in and
+   reconvergent-fanout density.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.netlist import Circuit, Gate
+
+
+class _Builder:
+    """Incremental netlist builder with automatic fresh-name generation."""
+
+    def __init__(self, prefix: str = "n"):
+        self.gates: List[Gate] = []
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        self._counter += 1
+        return f"{self._prefix}{self._counter}{('_' + hint) if hint else ''}"
+
+    def add(self, gate_type: GateType, inputs: Sequence[str], name: Optional[str] = None) -> str:
+        out = name or self.fresh(gate_type.value.lower())
+        self.gates.append(Gate(out, gate_type, tuple(inputs)))
+        return out
+
+    # Convenience wrappers -------------------------------------------------
+    def and_(self, *ins: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.AND, ins, name)
+
+    def or_(self, *ins: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.OR, ins, name)
+
+    def xor(self, *ins: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.XOR, ins, name)
+
+    def xnor(self, *ins: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.XNOR, ins, name)
+
+    def not_(self, a: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.NOT, (a,), name)
+
+    def nand(self, *ins: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.NAND, ins, name)
+
+    def nor(self, *ins: str, name: Optional[str] = None) -> str:
+        return self.add(GateType.NOR, ins, name)
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Return (sum, cout)."""
+        axb = self.xor(a, b)
+        s = self.xor(axb, cin)
+        c = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return s, c
+
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        """Return (sum, cout)."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def mux2(self, sel: str, d0: str, d1: str) -> str:
+        """2:1 multiplexer: ``sel ? d1 : d0``."""
+        nsel = self.not_(sel)
+        return self.or_(self.and_(nsel, d0), self.and_(sel, d1))
+
+
+def ripple_carry_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """An n-bit ripple-carry adder: ``sum = a + b + cin``.
+
+    Inputs ``a0..a{n-1}``, ``b0..b{n-1}``, ``cin``; outputs ``s0..s{n-1}``
+    and ``cout``.  5n gates, depth O(n).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = _Builder()
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    carry = "cin"
+    sums = []
+    for i in range(width):
+        s, carry = b.full_adder(a_bits[i], b_bits[i], carry)
+        sums.append(b.add(GateType.BUF, (s,), name=f"s{i}"))
+    cout = b.add(GateType.BUF, (carry,), name="cout")
+    return Circuit(
+        name or f"rca{width}",
+        a_bits + b_bits + ["cin"],
+        b.gates,
+        sums + [cout],
+    )
+
+
+def magnitude_comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """An n-bit magnitude comparator producing ``A > B`` and ``A = B``.
+
+    Classic MSB-first iterative structure; stands in for the MCNC ``comp``
+    benchmark (which is a 2x16-bit comparator).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = _Builder()
+    gt = None
+    eq = None
+    for i in reversed(range(width)):  # MSB first
+        ai, bi = f"a{i}", f"b{i}"
+        bit_eq = b.xnor(ai, bi)
+        bit_gt = b.and_(ai, b.not_(bi))
+        if gt is None:
+            gt, eq = bit_gt, bit_eq
+        else:
+            gt = b.or_(gt, b.and_(eq, bit_gt))
+            eq = b.and_(eq, bit_eq)
+    gt = b.add(GateType.BUF, (gt,), name="a_gt_b")
+    eq = b.add(GateType.BUF, (eq,), name="a_eq_b")
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    return Circuit(name or f"comp{width}", inputs, b.gates, ["a_gt_b", "a_eq_b"])
+
+
+def population_count(width: int, builder: _Builder, bits: Sequence[str]) -> List[str]:
+    """Emit a full-adder tree computing the population count of ``bits``.
+
+    Returns the count's binary representation, LSB first.
+    """
+    columns: List[List[str]] = [list(bits)]
+    result: List[str] = []
+    while columns:
+        col = columns.pop(0)
+        carries: List[str] = []
+        while len(col) >= 3:
+            a, b_, c = col.pop(), col.pop(), col.pop()
+            s, cy = builder.full_adder(a, b_, c)
+            col.append(s)
+            carries.append(cy)
+        if len(col) == 2:
+            a, b_ = col.pop(), col.pop()
+            s, cy = builder.half_adder(a, b_)
+            col.append(s)
+            carries.append(cy)
+        result.append(col[0] if col else None)
+        if carries:
+            if columns:
+                columns[0].extend(carries)
+            else:
+                columns.append(carries)
+    return result
+
+
+def majority_voter(n_voters: int, name: Optional[str] = None) -> Circuit:
+    """Majority-of-n voter: output 1 iff more than half the inputs are 1.
+
+    Built as a population-count adder tree followed by a magnitude
+    comparison against ``n_voters // 2``; stands in for the MCNC ``voter``
+    style benchmark.
+    """
+    if n_voters < 1 or n_voters % 2 == 0:
+        raise ValueError("n_voters must be odd and >= 1")
+    b = _Builder()
+    bits = [f"v{i}" for i in range(n_voters)]
+    count = population_count(n_voters, b, bits)
+    threshold = n_voters // 2  # majority iff count > threshold
+    # Compare count (binary, LSB first) against the constant threshold:
+    # gt_i chain from MSB down.
+    gt = None
+    eq = None
+    for i in reversed(range(len(count))):
+        t_bit = (threshold >> i) & 1
+        c_bit = count[i]
+        if t_bit == 0:
+            bit_gt = b.add(GateType.BUF, (c_bit,))
+            bit_eq = b.not_(c_bit)
+        else:
+            bit_gt = None  # count_bit can't exceed a 1 at this position
+            bit_eq = b.add(GateType.BUF, (c_bit,))
+        if gt is None and eq is None:
+            gt, eq = bit_gt, bit_eq
+        else:
+            if bit_gt is not None:
+                gt = b.or_(gt, b.and_(eq, bit_gt)) if gt is not None else b.and_(eq, bit_gt)
+            eq = b.and_(eq, bit_eq)
+    out = b.add(GateType.BUF, (gt,), name="majority")
+    return Circuit(name or f"voter{n_voters}", bits, b.gates, ["majority"])
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """Balanced XOR tree computing the parity of ``width`` inputs."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = _Builder()
+    layer = [f"i{k}" for k in range(width)]
+    while len(layer) > 1:
+        nxt = []
+        for k in range(0, len(layer) - 1, 2):
+            nxt.append(b.xor(layer[k], layer[k + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    out = b.add(GateType.BUF, (layer[0],), name="parity")
+    return Circuit(name or f"parity{width}", [f"i{k}" for k in range(width)], b.gates, ["parity"])
+
+
+def decoder(select_bits: int, name: Optional[str] = None) -> Circuit:
+    """n-to-2^n line decoder (one AND of literals per output)."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be >= 1")
+    b = _Builder()
+    sel = [f"s{k}" for k in range(select_bits)]
+    inv = [b.not_(s) for s in sel]
+    outs = []
+    for code in range(2 ** select_bits):
+        literals = [
+            sel[k] if (code >> k) & 1 else inv[k] for k in range(select_bits)
+        ]
+        if len(literals) == 1:
+            outs.append(b.add(GateType.BUF, literals, name=f"d{code}"))
+        else:
+            outs.append(b.and_(*literals, name=f"d{code}"))
+    return Circuit(name or f"dec{select_bits}", sel, b.gates, outs)
+
+
+def mux_tree(select_bits: int, name: Optional[str] = None) -> Circuit:
+    """2^n : 1 multiplexer built as a tree of 2:1 muxes."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be >= 1")
+    b = _Builder()
+    n_data = 2 ** select_bits
+    data = [f"d{k}" for k in range(n_data)]
+    sel = [f"s{k}" for k in range(select_bits)]
+    layer = list(data)
+    for level in range(select_bits):
+        nxt = []
+        for k in range(0, len(layer), 2):
+            nxt.append(b.mux2(sel[level], layer[k], layer[k + 1]))
+        layer = nxt
+    out = b.add(GateType.BUF, (layer[0],), name="y")
+    return Circuit(name or f"mux{n_data}", data + sel, b.gates, ["y"])
+
+
+def alu(width: int, name: Optional[str] = None) -> Circuit:
+    """A small ALU: two-bit opcode selects AND / OR / XOR / ADD of a and b.
+
+    Stands in for the MCNC ``alu`` / ``malu`` benchmarks.  Inputs
+    ``a*``, ``b*``, ``op0``, ``op1``; outputs ``y0..y{n-1}`` and ``cout``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = _Builder()
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    # ADD path.
+    carry = b.and_("op0", "op1")  # carry-in 0; reuse a gate to keep all ops live
+    carry = b.and_(carry, b.not_(carry))  # constant-0 via x AND NOT x
+    sums = []
+    for i in range(width):
+        s, carry = b.full_adder(a_bits[i], b_bits[i], carry)
+        sums.append(s)
+    outs = []
+    for i in range(width):
+        and_i = b.and_(a_bits[i], b_bits[i])
+        or_i = b.or_(a_bits[i], b_bits[i])
+        xor_i = b.xor(a_bits[i], b_bits[i])
+        lo = b.mux2("op0", and_i, or_i)     # op1=0: AND / OR
+        hi = b.mux2("op0", xor_i, sums[i])  # op1=1: XOR / ADD
+        outs.append(b.add(GateType.BUF, (b.mux2("op1", lo, hi),), name=f"y{i}"))
+    cout = b.add(GateType.BUF, (carry,), name="cout")
+    inputs = a_bits + b_bits + ["op0", "op1"]
+    return Circuit(name or f"alu{width}", inputs, b.gates, outs + ["cout"])
+
+
+def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """An n x n array multiplier (AND partial products + adder array).
+
+    Stands in for the heavily arithmetic ISCAS c6288 (a 16x16 multiplier).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = _Builder()
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    # Partial products by output column.
+    columns: List[List[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(b.and_(a_bits[i], b_bits[j]))
+    outs = []
+    carries: List[str] = []
+    for col_idx in range(2 * width):
+        col = columns[col_idx] + carries
+        carries = []
+        while len(col) >= 3:
+            x, y, z = col.pop(), col.pop(), col.pop()
+            s, c = b.full_adder(x, y, z)
+            col.append(s)
+            carries.append(c)
+        if len(col) == 2:
+            x, y = col.pop(), col.pop()
+            s, c = b.half_adder(x, y)
+            col.append(s)
+            carries.append(c)
+        if col:
+            outs.append(b.add(GateType.BUF, (col[0],), name=f"p{col_idx}"))
+    return Circuit(name or f"mult{width}", a_bits + b_bits, b.gates, outs)
+
+
+def counter_next_state(width: int, name: Optional[str] = None) -> Circuit:
+    """Next-state logic of an up-counter with enable: ``q' = q + en``.
+
+    Stands in for the MCNC ``count`` benchmark (a counter's combinational
+    core after scan conversion).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = _Builder()
+    q_bits = [f"q{i}" for i in range(width)]
+    carry = "en"
+    outs = []
+    for i in range(width):
+        s, carry = b.half_adder(q_bits[i], carry)
+        outs.append(b.add(GateType.BUF, (s,), name=f"nq{i}"))
+    outs.append(b.add(GateType.BUF, (carry,), name="ovf"))
+    return Circuit(name or f"count{width}", q_bits + ["en"], b.gates, outs)
+
+
+def max_flat(width: int, name: Optional[str] = None) -> Circuit:
+    """``max(A, B)`` of two n-bit numbers: comparator + word-wide 2:1 mux.
+
+    Stands in for the MCNC ``max_flat`` style benchmark.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = _Builder()
+    gt = None
+    eq = None
+    for i in reversed(range(width)):
+        ai, bi = f"a{i}", f"b{i}"
+        bit_eq = b.xnor(ai, bi)
+        bit_gt = b.and_(ai, b.not_(bi))
+        if gt is None:
+            gt, eq = bit_gt, bit_eq
+        else:
+            gt = b.or_(gt, b.and_(eq, bit_gt))
+            eq = b.and_(eq, bit_eq)
+    outs = []
+    for i in range(width):
+        outs.append(b.add(GateType.BUF, (b.mux2(gt, f"b{i}", f"a{i}"),), name=f"m{i}"))
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    return Circuit(name or f"max{width}", inputs, b.gates, outs)
+
+
+def parity_clear_register(width: int, name: Optional[str] = None) -> Circuit:
+    """Parity-checked clearable register slice logic (``pcler8`` stand-in).
+
+    For each bit: ``q' = NOT clr AND (ld ? d : q)``; plus a parity output
+    over the next-state bits.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = _Builder()
+    q_bits = [f"q{i}" for i in range(width)]
+    d_bits = [f"d{i}" for i in range(width)]
+    nclr = b.not_("clr")
+    next_bits = []
+    for i in range(width):
+        sel = b.mux2("ld", q_bits[i], d_bits[i])
+        nq = b.and_(nclr, sel)
+        next_bits.append(b.add(GateType.BUF, (nq,), name=f"nq{i}"))
+    parity = next_bits[0]
+    for bit in next_bits[1:]:
+        parity = b.xor(parity, bit)
+    par = b.add(GateType.BUF, (parity,), name="par")
+    inputs = q_bits + d_bits + ["ld", "clr"]
+    return Circuit(name or f"pcler{width}", inputs, b.gates, next_bits + ["par"])
+
+
+def random_layered_circuit(
+    n_inputs: int,
+    n_gates: int,
+    seed: int,
+    name: Optional[str] = None,
+    max_fanin: int = 3,
+    n_levels: Optional[int] = None,
+    level_decay: float = 0.5,
+    reach: float = 0.05,
+) -> Circuit:
+    """Random netlist with ISCAS-like shape (shallow, wide, reconvergent).
+
+    Gates are placed on logic levels; every gate takes at least one
+    input from the immediately preceding level (so the circuit really
+    has ``n_levels`` depth) and the rest from earlier levels with a
+    geometric recency bias.  Gate types follow a synthesized-logic mix
+    (NAND/NOR/AND/OR dominant, occasional XOR/XNOR, some inverters).
+    Used as the size-matched stand-in for non-redistributable ISCAS
+    netlists (see DESIGN.md).
+
+    Parameters
+    ----------
+    n_inputs, n_gates:
+        Primary-input and gate counts of the generated circuit.
+    seed:
+        RNG seed; the same arguments always generate the same netlist.
+    max_fanin:
+        Maximum gate fan-in.
+    n_levels:
+        Logic depth; defaults to an ISCAS-like ``~4 log2(gates)``,
+        clamped to [3, 45].
+    level_decay:
+        Geometric decay of the look-back when picking extra inputs from
+        earlier levels; larger values keep connections more local.
+    reach:
+        Standard deviation of the *column* distance between a gate and
+        its sources, as a fraction of the level width.  Mimics placement
+        locality: real netlists draw fan-in from nearby columns, which
+        keeps cone widths (and hence moral-graph treewidth) bounded.
+    """
+    return _random_layered(
+        n_inputs, n_gates, seed, name, max_fanin, n_levels, level_decay, reach
+    )
+
+
+def _random_layered(
+    n_inputs: int,
+    n_gates: int,
+    seed: int,
+    name: Optional[str],
+    max_fanin: int,
+    n_levels: Optional[int],
+    level_decay: float,
+    reach: float,
+) -> Circuit:
+    if n_inputs < 2 or n_gates < 1:
+        raise ValueError("need n_inputs >= 2 and n_gates >= 1")
+    rng = np.random.default_rng(seed)
+    if n_levels is None:
+        n_levels = int(np.clip(round(4 * np.log2(max(n_gates, 2))), 3, 45))
+    n_levels = min(n_levels, n_gates)
+
+    #: (gate type, weight, is unary) -- a synthesized-logic mix
+    #: (NAND/NOR/AND/OR dominant, XORs rare, as in the ISCAS profile).
+    type_table = [
+        (GateType.NAND, 0.26, False),
+        (GateType.NOR, 0.14, False),
+        (GateType.AND, 0.20, False),
+        (GateType.OR, 0.20, False),
+        (GateType.XOR, 0.03, False),
+        (GateType.XNOR, 0.02, False),
+        (GateType.NOT, 0.11, True),
+        (GateType.BUF, 0.04, True),
+    ]
+    weights = np.array([w for _, w, _ in type_table])
+    weights /= weights.sum()
+
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    #: per level: list of line names, plus their column positions in [0, 1]
+    levels: List[List[str]] = [list(inputs)]
+    positions: List[np.ndarray] = [
+        (np.arange(n_inputs) + 0.5) / n_inputs
+    ]
+    gates: List[Gate] = []
+
+    # Distribute gates over levels as evenly as possible.
+    per_level = [n_gates // n_levels] * n_levels
+    for k in range(n_gates % n_levels):
+        per_level[k] += 1
+
+    def pick_near(level: int, column: float, exclude: set) -> Optional[str]:
+        """The line in ``level`` nearest a noisy column target, if free."""
+        pool = levels[level]
+        target = column + rng.normal(0.0, reach)
+        idx = int(np.clip(np.searchsorted(positions[level], target), 0, len(pool) - 1))
+        # Probe outward from the nearest index for an unused line.
+        for offset in range(len(pool)):
+            for candidate_idx in (idx - offset, idx + offset):
+                if 0 <= candidate_idx < len(pool):
+                    candidate = pool[candidate_idx]
+                    if candidate not in exclude:
+                        return candidate
+        return None
+
+    def pick_extra_source(current_level: int, column: float, exclude: set) -> str:
+        """A nearby-column input from an earlier level (recency biased)."""
+        for _ in range(8):
+            back = int(rng.geometric(level_decay))
+            level = max(0, current_level - back)
+            candidate = pick_near(level, column, exclude)
+            if candidate is not None:
+                return candidate
+        flat = [ln for lv in levels[:current_level] for ln in lv if ln not in exclude]
+        return flat[int(rng.integers(len(flat)))]
+
+    gate_counter = 0
+    # Synthesized netlists contain no locally degenerate gates: a gate
+    # whose output is constant (a tautology/contradiction through
+    # shared ancestry, e.g. OR(NAND(a, x), a) == 1) or merely a copy or
+    # complement of one of its own sources would be optimized away.
+    # Functional signatures over random probe vectors detect and reject
+    # such candidates; exact structural duplicates are rejected too.
+    n_probes = 1024
+    probe = rng.integers(0, 2, size=(n_probes, n_inputs), dtype=np.uint8)
+    signatures: Dict[str, np.ndarray] = {
+        name: probe[:, j] for j, name in enumerate(inputs)
+    }
+    seen_structures: set = set()
+    for level_idx in range(1, n_levels + 1):
+        count = per_level[level_idx - 1]
+        new_level: List[str] = []
+        new_positions = (np.arange(count) + 0.5) / max(count, 1)
+        for slot in range(count):
+            column = float(new_positions[slot])
+            gate_type = srcs = None
+            for _attempt in range(16):
+                choice = int(rng.choice(len(type_table), p=weights))
+                gate_type, _, unary = type_table[choice]
+                first = pick_near(level_idx - 1, column, set())
+                if unary:
+                    srcs = [first]
+                else:
+                    available = sum(len(lv) for lv in levels[:level_idx])
+                    # Realistic fan-in profile: mostly 2-input gates.
+                    fanin = 2 if (max_fanin <= 2 or rng.random() < 0.75) else int(
+                        rng.integers(3, max_fanin + 1)
+                    )
+                    fanin = min(fanin, available)
+                    srcs = [first]
+                    exclude = {first}
+                    while len(srcs) < fanin:
+                        extra = pick_extra_source(level_idx, column, exclude)
+                        srcs.append(extra)
+                        exclude.add(extra)
+                structure = (gate_type, frozenset(srcs))
+                if structure in seen_structures:
+                    continue
+                signature = evaluate_gate(gate_type, [signatures[s] for s in srcs])
+                total = int(signature.sum())
+                if total == 0 or total == n_probes:
+                    continue  # locally constant (tautology/contradiction)
+                degenerate = False
+                if gate_type not in (GateType.NOT, GateType.BUF):
+                    for s in srcs:
+                        if (np.array_equal(signature, signatures[s])
+                                or np.array_equal(signature, 1 - signatures[s])):
+                            degenerate = True  # absorption: copy/complement
+                            break
+                if not degenerate:
+                    seen_structures.add(structure)
+                    break
+            out = f"g{gate_counter}"
+            gate_counter += 1
+            gates.append(Gate(out, gate_type, tuple(srcs)))
+            signatures[out] = evaluate_gate(gate_type, [signatures[s] for s in srcs])
+            new_level.append(out)
+        levels.append(new_level)
+        positions.append(new_positions)
+
+    return Circuit(name or f"rand_{n_inputs}x{n_gates}_s{seed}", inputs, gates)
+
+

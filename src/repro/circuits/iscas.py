@@ -1,0 +1,239 @@
+"""Functional stand-ins for the ISCAS-85 benchmark circuits.
+
+The real ISCAS-85 netlists are not redistributable here, but their
+high-level functions are documented (Hansen, Yalcin & Hayes, "Unveiling
+the ISCAS-85 benchmarks"):
+
+- c432: 27-channel priority interrupt controller,
+- c499/c1355: 32-bit single-error-correcting (SEC) circuit (c1355 is
+  c499 with XORs expanded to NAND networks),
+- c880: 8-bit ALU core,
+- c1908: 16-bit SEC/DED error-correcting circuit,
+- c2670: ALU + comparator + parity control,
+- c3540: ALU with multiplication support,
+- c5315: 9-bit ALU with parallel data paths,
+- c6288: 16x16 array multiplier,
+- c7552: 32-bit adder/comparator with parity.
+
+This module rebuilds those *functions* from scratch at matching input
+counts and comparable gate counts.  Structured functional logic carries
+the cone-shaped, locally reconvergent correlation of real netlists --
+which is what the paper's multi-BN segmentation is calibrated against
+-- unlike random gate soup, whose long-range functional redundancy is
+pathological for every probabilistic estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Gate
+
+
+class _Net:
+    """Tiny netlist builder (kept local to avoid import cycles)."""
+
+    def __init__(self):
+        self.gates: List[Gate] = []
+        self._n = 0
+
+    def emit(self, gate_type: GateType, srcs: Sequence[str], name: Optional[str] = None) -> str:
+        out = name or f"n{self._n}"
+        self._n += 1
+        self.gates.append(Gate(out, gate_type, tuple(srcs)))
+        return out
+
+    def tree(self, gate_type: GateType, srcs: Sequence[str], fanin: int = 3) -> str:
+        """Balanced reduction tree of ``gate_type`` over ``srcs``.
+
+        For non-associative-looking types (NAND/NOR) the internal nodes
+        use the associative core (AND/OR) and only the root inverts.
+        """
+        core = {
+            GateType.NAND: GateType.AND,
+            GateType.NOR: GateType.OR,
+            GateType.XNOR: GateType.XOR,
+        }.get(gate_type, gate_type)
+        layer = list(srcs)
+        while len(layer) > 1:
+            nxt = []
+            for k in range(0, len(layer), fanin):
+                group = layer[k : k + fanin]
+                if len(group) == 1:
+                    nxt.append(group[0])
+                else:
+                    nxt.append(self.emit(core, group))
+            layer = nxt
+        root = layer[0]
+        if gate_type is not core:
+            root = self.emit(GateType.NOT, (root,))
+        return root
+
+    def xor2(self, a: str, b: str, expand: bool = False) -> str:
+        """2-input XOR, optionally expanded to the classic 4-NAND net."""
+        if not expand:
+            return self.emit(GateType.XOR, (a, b))
+        inner = self.emit(GateType.NAND, (a, b))
+        left = self.emit(GateType.NAND, (a, inner))
+        right = self.emit(GateType.NAND, (b, inner))
+        return self.emit(GateType.NAND, (left, right))
+
+    def xor_tree(self, srcs: Sequence[str], expand: bool = False, fanin: int = 3) -> str:
+        if not expand and fanin > 2:
+            return self.tree(GateType.XOR, srcs, fanin)
+        layer = list(srcs)
+        while len(layer) > 1:
+            nxt = []
+            for k in range(0, len(layer) - 1, 2):
+                nxt.append(self.xor2(layer[k], layer[k + 1], expand))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+
+def priority_controller(
+    n_requests: int = 27, n_enables: int = 9, name: str = "c432s"
+) -> Circuit:
+    """Priority interrupt controller (the c432 function).
+
+    ``n_requests`` request lines with fixed priority (0 highest) gated
+    by ``n_enables`` enable lines; outputs the binary channel id of the
+    highest-priority enabled request plus a valid flag.
+    """
+    net = _Net()
+    requests = [f"r{i}" for i in range(n_requests)]
+    enables = [f"e{i}" for i in range(n_enables)]
+    # A channel competes only when requested AND enabled; masked
+    # channels must not block lower-priority ones.
+    effective = [
+        net.emit(GateType.AND, (request, enables[i % n_enables]))
+        for i, request in enumerate(requests)
+    ]
+    grants: List[str] = []
+    blocked = None
+    for i, active in enumerate(effective):
+        if blocked is None:
+            grants.append(net.emit(GateType.BUF, (active,)))
+            blocked = net.emit(GateType.NOT, (active,))
+        else:
+            grants.append(net.emit(GateType.AND, (active, blocked)))
+            blocked = net.emit(
+                GateType.AND, (blocked, net.emit(GateType.NOT, (active,)))
+            )
+    id_bits = max(1, (n_requests - 1).bit_length())
+    outputs = []
+    for bit in range(id_bits):
+        members = [grants[i] for i in range(n_requests) if (i >> bit) & 1]
+        if members:
+            outputs.append(net.emit(GateType.OR, members[:1], name=None)
+                           if len(members) == 1 else net.tree(GateType.OR, members))
+    named_outputs = []
+    for bit, line in enumerate(outputs):
+        named_outputs.append(net.emit(GateType.BUF, (line,), name=f"id{bit}"))
+    valid = net.tree(GateType.OR, grants)
+    named_outputs.append(net.emit(GateType.BUF, (valid,), name="valid"))
+    return Circuit(name, requests + enables, net.gates, named_outputs)
+
+
+def _parity_columns(data_bits: int, check_bits: int) -> List[int]:
+    """Distinct non-unit H-matrix columns for a SEC code."""
+    columns: List[int] = []
+    candidate = 3
+    while len(columns) < data_bits:
+        if candidate & (candidate - 1):  # skip powers of two (unit columns)
+            if candidate < (1 << check_bits):
+                columns.append(candidate)
+            else:
+                raise ValueError(
+                    f"{check_bits} check bits cannot cover {data_bits} data bits"
+                )
+        candidate += 1
+    return columns
+
+
+def sec_circuit(
+    data_bits: int = 32,
+    check_bits: int = 8,
+    expand_xor: bool = False,
+    name: str = "c499s",
+) -> Circuit:
+    """Single-error-correcting circuit (the c499/c1355/c1908 function).
+
+    Inputs: ``data_bits`` data lines, ``check_bits`` stored check lines,
+    and an ``en`` correction-enable line.  The circuit recomputes the
+    syndrome, decodes the failing position, and outputs the corrected
+    word.  ``expand_xor=True`` replaces every 2-input XOR with the
+    classic four-NAND network -- exactly the relationship between c1355
+    and c499.
+    """
+    net = _Net()
+    data = [f"d{i}" for i in range(data_bits)]
+    checks = [f"c{j}" for j in range(check_bits)]
+    columns = _parity_columns(data_bits, check_bits)
+
+    syndromes = []
+    for j in range(check_bits):
+        members = [data[i] for i in range(data_bits) if (columns[i] >> j) & 1]
+        members.append(checks[j])
+        syndromes.append(net.xor_tree(members, expand=expand_xor))
+    not_syndromes = [net.emit(GateType.NOT, (s,)) for s in syndromes]
+
+    outputs = []
+    for i in range(data_bits):
+        literals = [
+            syndromes[j] if (columns[i] >> j) & 1 else not_syndromes[j]
+            for j in range(check_bits)
+        ]
+        match = net.tree(GateType.AND, literals, fanin=3 if not expand_xor else 2)
+        flip = net.emit(GateType.AND, (match, "en"))
+        corrected = net.xor2(data[i], flip, expand=expand_xor)
+        outputs.append(net.emit(GateType.BUF, (corrected,), name=f"o{i}"))
+    return Circuit(name, data + checks + ["en"], net.gates, outputs)
+
+
+def merge_circuits(
+    name: str,
+    blocks: Sequence[Tuple[str, Circuit]],
+    shared_inputs: Optional[Dict[str, str]] = None,
+) -> Circuit:
+    """Merge sub-circuits into one netlist with optional input sharing.
+
+    Each block's lines are prefixed with its label; ``shared_inputs``
+    maps prefixed block-input names onto common (unprefixed) primary
+    inputs, which is how composite stand-ins model blocks reading the
+    same buses (the source of realistic inter-block correlation).
+    """
+    shared_inputs = dict(shared_inputs or {})
+    inputs: List[str] = []
+    gates: List[Gate] = []
+    outputs: List[str] = []
+    seen_inputs: set = set()
+
+    for label, block in blocks:
+        def rename(line: str, label=label) -> str:
+            prefixed = f"{label}_{line}"
+            return shared_inputs.get(prefixed, prefixed)
+
+        for line in block.inputs:
+            target = rename(line)
+            if target not in seen_inputs:
+                seen_inputs.add(target)
+                inputs.append(target)
+        for gate in block.gates.values():
+            gates.append(
+                Gate(rename(gate.output), gate.gate_type, tuple(rename(s) for s in gate.inputs))
+            )
+        outputs.extend(rename(line) for line in block.outputs)
+
+    # Shared names that are actually driven by some block must not be
+    # listed as primary inputs.
+    driven = {g.output for g in gates}
+    inputs = [ln for ln in inputs if ln not in driven]
+    return Circuit(name, inputs, gates, outputs)
+
+
+def share_bus(label: str, lines: Sequence[str], bus: str) -> Dict[str, str]:
+    """Mapping that wires a block's input lines onto a shared bus."""
+    return {f"{label}_{line}": f"{bus}{k}" for k, line in enumerate(lines)}

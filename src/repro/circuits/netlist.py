@@ -1,0 +1,379 @@
+"""Combinational netlist container.
+
+A :class:`Circuit` is a set of named *lines* (signals) driven either by a
+primary input or by exactly one :class:`Gate`.  The class provides the
+structural queries every downstream consumer needs: topological order,
+levelization, fanout counts, transitive fanin cones, and subcircuit
+extraction (used by the multi-BN segmentation of large circuits), plus
+scalar and vectorized evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import GateType, evaluate_gate
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single logic gate: ``output = gate_type(inputs...)``."""
+
+    output: str
+    gate_type: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if len(self.inputs) == 0:
+            raise ValueError(f"gate driving {self.output!r} has no inputs")
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+    def __str__(self) -> str:
+        return f"{self.output} = {self.gate_type}({', '.join(self.inputs)})"
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid netlists (cycles, double drivers...)."""
+
+
+class Circuit:
+    """A combinational gate-level circuit.
+
+    Parameters
+    ----------
+    name:
+        Human-readable circuit name (e.g. ``"c17"``).
+    inputs:
+        Names of the primary-input lines, in declaration order.
+    gates:
+        The gates; each line may be driven by at most one gate, and gate
+        inputs must be primary inputs or outputs of other gates.
+    outputs:
+        Names of the primary-output lines.  Defaults to all lines with no
+        fanout.
+
+    The constructor validates the netlist: no multiply-driven lines, no
+    undriven non-input lines, no combinational cycles.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        gates: Iterable[Gate],
+        outputs: Optional[Sequence[str]] = None,
+    ):
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.gates: Dict[str, Gate] = {}
+
+        if len(set(self.inputs)) != len(self.inputs):
+            raise CircuitError(f"{name}: duplicate primary input names")
+
+        input_set = set(self.inputs)
+        for gate in gates:
+            if gate.output in self.gates:
+                raise CircuitError(f"{name}: line {gate.output!r} driven twice")
+            if gate.output in input_set:
+                raise CircuitError(f"{name}: primary input {gate.output!r} driven by a gate")
+            self.gates[gate.output] = gate
+
+        defined = input_set | set(self.gates)
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                if src not in defined:
+                    raise CircuitError(
+                        f"{name}: gate {gate.output!r} reads undefined line {src!r}"
+                    )
+
+        self._topo_order = self._compute_topological_order()
+
+        if outputs is None:
+            fanout_targets = {src for g in self.gates.values() for src in g.inputs}
+            self.outputs = [ln for ln in self._topo_order if ln not in fanout_targets]
+        else:
+            self.outputs = list(outputs)
+            for line in self.outputs:
+                if line not in defined:
+                    raise CircuitError(f"{name}: undefined primary output {line!r}")
+
+        self._levels: Optional[Dict[str, int]] = None
+        self._fanout: Optional[Dict[str, List[str]]] = None
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+
+    @property
+    def lines(self) -> List[str]:
+        """All line names in topological order (inputs first)."""
+        return list(self._topo_order)
+
+    @property
+    def internal_lines(self) -> List[str]:
+        """All gate-driven line names in topological order."""
+        return [ln for ln in self._topo_order if ln in self.gates]
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def driver(self, line: str) -> Optional[Gate]:
+        """Return the gate driving ``line``, or ``None`` for primary inputs."""
+        return self.gates.get(line)
+
+    def is_input(self, line: str) -> bool:
+        return line not in self.gates and line in set(self.inputs)
+
+    def topological_order(self) -> List[str]:
+        """Lines ordered so every gate's inputs precede its output."""
+        return list(self._topo_order)
+
+    def _compute_topological_order(self) -> List[str]:
+        order: List[str] = list(self.inputs)
+        placed = set(self.inputs)
+        remaining = dict(self.gates)
+        # Kahn's algorithm over gate-driven lines.
+        indegree = {
+            out: sum(1 for src in g.inputs if src in self.gates)
+            for out, g in remaining.items()
+        }
+        ready = [out for out, deg in indegree.items() if deg == 0]
+        consumers: Dict[str, List[str]] = {}
+        for out, g in remaining.items():
+            for src in g.inputs:
+                if src in self.gates:
+                    consumers.setdefault(src, []).append(out)
+        while ready:
+            # Pop in insertion order for deterministic results.
+            line = ready.pop(0)
+            order.append(line)
+            placed.add(line)
+            for consumer in consumers.get(line, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.inputs) + len(self.gates):
+            cyclic = sorted(set(self.gates) - placed)
+            raise CircuitError(f"{self.name}: combinational cycle through {cyclic[:5]}")
+        return order
+
+    def levels(self) -> Dict[str, int]:
+        """Logic depth of each line (primary inputs are level 0)."""
+        if self._levels is None:
+            levels: Dict[str, int] = {ln: 0 for ln in self.inputs}
+            for line in self._topo_order:
+                gate = self.gates.get(line)
+                if gate is not None:
+                    levels[line] = 1 + max(levels[src] for src in gate.inputs)
+            self._levels = levels
+        return dict(self._levels)
+
+    @property
+    def depth(self) -> int:
+        """Maximum logic depth over all lines."""
+        levels = self.levels()
+        return max(levels.values()) if levels else 0
+
+    def fanout(self) -> Dict[str, List[str]]:
+        """Map each line to the list of gate-output lines it feeds."""
+        if self._fanout is None:
+            fanout: Dict[str, List[str]] = {ln: [] for ln in self._topo_order}
+            for gate in self.gates.values():
+                for src in gate.inputs:
+                    fanout[src].append(gate.output)
+            self._fanout = fanout
+        return {k: list(v) for k, v in self._fanout.items()}
+
+    def fanin_cone(self, line: str) -> List[str]:
+        """All lines in the transitive fanin of ``line`` (including itself),
+        returned in topological order."""
+        cone = set()
+        stack = [line]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            gate = self.gates.get(current)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        return [ln for ln in self._topo_order if ln in cone]
+
+    def reconvergent_fanout_lines(self) -> List[str]:
+        """Lines with fanout >= 2 whose branches reconverge downstream.
+
+        Reconvergent fanout is the structural source of spatial
+        correlation; this query is used by diagnostics and by tests that
+        want circuits where independence-based baselines are provably
+        wrong.
+        """
+        fanout = self.fanout()
+        reconvergent = []
+        for line, sinks in fanout.items():
+            if len(sinks) < 2:
+                continue
+            # Reconverges iff two distinct sinks reach a common descendant.
+            reach: Dict[str, set] = {}
+            for sink in sinks:
+                seen = set()
+                stack = [sink]
+                while stack:
+                    cur = stack.pop()
+                    if cur in seen:
+                        continue
+                    seen.add(cur)
+                    stack.extend(self._fanout_of(cur))
+                reach[sink] = seen
+            sinks_list = list(sinks)
+            found = False
+            for i in range(len(sinks_list)):
+                for j in range(i + 1, len(sinks_list)):
+                    if reach[sinks_list[i]] & reach[sinks_list[j]]:
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                reconvergent.append(line)
+        return reconvergent
+
+    def _fanout_of(self, line: str) -> List[str]:
+        if self._fanout is None:
+            self.fanout()
+        return self._fanout.get(line, [])
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate every line for one primary-input assignment.
+
+        Parameters
+        ----------
+        assignment:
+            Maps every primary-input name to 0 or 1.
+
+        Returns
+        -------
+        dict mapping every line name (inputs included) to its 0/1 value.
+        """
+        values: Dict[str, int] = {}
+        for line in self.inputs:
+            if line not in assignment:
+                raise KeyError(f"missing value for primary input {line!r}")
+            values[line] = int(bool(assignment[line]))
+        for line in self._topo_order:
+            gate = self.gates.get(line)
+            if gate is not None:
+                values[line] = evaluate_gate(gate.gate_type, [values[s] for s in gate.inputs])
+        return values
+
+    def evaluate_vectors(self, input_matrix: np.ndarray) -> Dict[str, np.ndarray]:
+        """Vectorized evaluation over a batch of input patterns.
+
+        Parameters
+        ----------
+        input_matrix:
+            Array of shape ``(n_patterns, n_inputs)`` with 0/1 entries;
+            column ``j`` corresponds to ``self.inputs[j]``.
+
+        Returns
+        -------
+        dict mapping each line name to a ``uint8`` array of length
+        ``n_patterns``.
+        """
+        matrix = np.asarray(input_matrix, dtype=np.uint8)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.inputs):
+            raise ValueError(
+                f"expected shape (n, {len(self.inputs)}), got {matrix.shape}"
+            )
+        values: Dict[str, np.ndarray] = {
+            name: matrix[:, j] for j, name in enumerate(self.inputs)
+        }
+        for line in self._topo_order:
+            gate = self.gates.get(line)
+            if gate is not None:
+                values[line] = evaluate_gate(gate.gate_type, [values[s] for s in gate.inputs])
+        return values
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def subcircuit(
+        self, lines: Iterable[str], name: Optional[str] = None
+    ) -> "Circuit":
+        """Extract the induced subcircuit over ``lines``.
+
+        Gate-driven lines in ``lines`` keep their gate only if *all* gate
+        inputs are also in ``lines``; otherwise they become primary inputs
+        of the subcircuit.  This is exactly the cut semantics the multi-BN
+        segmentation needs: boundary lines turn into pseudo-inputs.
+        """
+        wanted = set(lines)
+        sub_inputs: List[str] = []
+        sub_gates: List[Gate] = []
+        for line in self._topo_order:
+            if line not in wanted:
+                continue
+            gate = self.gates.get(line)
+            if gate is not None and all(src in wanted for src in gate.inputs):
+                sub_gates.append(gate)
+            else:
+                sub_inputs.append(line)
+        return Circuit(name or f"{self.name}.sub", sub_inputs, sub_gates)
+
+    def renamed(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "Circuit":
+        """Return a copy with lines renamed through ``mapping`` (identity
+        for absent keys)."""
+
+        def rn(line: str) -> str:
+            return mapping.get(line, line)
+
+        gates = [
+            Gate(rn(g.output), g.gate_type, tuple(rn(s) for s in g.inputs))
+            for g in self.gates.values()
+        ]
+        return Circuit(
+            name or self.name,
+            [rn(ln) for ln in self.inputs],
+            gates,
+            [rn(ln) for ln in self.outputs],
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder / reporting
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"gates={len(self.gates)}, outputs={len(self.outputs)})"
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used in benchmark reports."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "gates": self.num_gates,
+            "lines": len(self._topo_order),
+            "depth": self.depth,
+        }

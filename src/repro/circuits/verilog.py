@@ -1,0 +1,140 @@
+"""Reader and writer for a gate-level structural Verilog subset.
+
+Supports the flat netlist style EDA tools exchange::
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+
+      nand g0 (N10, N1, N3);
+      nand g1 (N11, N3, N6);
+      not  g2 (N16x, N11);   // first port is the output
+    endmodule
+
+Gate primitives: ``and or nand nor xor xnor not buf``.  One module per
+file, no parameters, no vectors, no assigns -- the subset covers the
+public gate-level benchmark distributions.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.circuits.gates import resolve_gate_type
+from repro.circuits.netlist import Circuit, Gate
+
+_PRIMITIVES = {"and", "or", "nand", "nor", "xor", "xnor", "not", "buf"}
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^)]*)\)\s*;", re.DOTALL
+)
+_DECL_RE = re.compile(r"\b(input|output|wire)\b([^;]*);", re.DOTALL)
+_INSTANCE_RE = re.compile(
+    r"\b(?P<prim>[a-z]+)\s+(?P<inst>[A-Za-z_][\w$]*)?\s*\((?P<ports>[^)]*)\)\s*;",
+    re.DOTALL,
+)
+
+
+class VerilogFormatError(ValueError):
+    """Raised when the netlist cannot be parsed as the supported subset."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+def parse_verilog(text: str, name: str = None) -> Circuit:
+    """Parse structural Verilog text into a :class:`Circuit`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogFormatError("no module declaration found")
+    module_name = module.group("name")
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogFormatError("missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        identifiers = [n.strip() for n in names.split(",") if n.strip()]
+        if kind == "input":
+            inputs.extend(identifiers)
+        elif kind == "output":
+            outputs.extend(identifiers)
+
+    gates: List[Gate] = []
+    declaration_spans = [m.span() for m in _DECL_RE.finditer(body)]
+
+    def inside_declaration(position: int) -> bool:
+        return any(start <= position < stop for start, stop in declaration_spans)
+
+    for match in _INSTANCE_RE.finditer(body):
+        if inside_declaration(match.start()):
+            continue
+        primitive = match.group("prim")
+        if primitive not in _PRIMITIVES:
+            raise VerilogFormatError(
+                f"unsupported primitive or construct {primitive!r}"
+            )
+        ports = [p.strip() for p in match.group("ports").split(",") if p.strip()]
+        if len(ports) < 2:
+            raise VerilogFormatError(
+                f"instance {match.group('inst') or primitive} needs >= 2 ports"
+            )
+        gates.append(Gate(ports[0], resolve_gate_type(primitive), tuple(ports[1:])))
+
+    if not inputs:
+        raise VerilogFormatError("module declares no inputs")
+    return Circuit(name or module_name, inputs, gates, outputs or None)
+
+
+def parse_verilog_file(path: Union[str, Path], name: str = None) -> Circuit:
+    """Read and parse a structural Verilog file."""
+    path = Path(path)
+    return parse_verilog(path.read_text(), name or path.stem)
+
+
+def to_verilog(circuit: Circuit) -> str:
+    """Serialize a :class:`Circuit` as structural Verilog.
+
+    Round-trips through :func:`parse_verilog` to an equivalent circuit.
+    """
+    ports = circuit.inputs + circuit.outputs
+    wires = [
+        ln
+        for ln in circuit.internal_lines
+        if ln not in set(circuit.outputs)
+    ]
+    lines = [f"module {_sanitize(circuit.name)} ({', '.join(ports)});"]
+    lines.append(f"  input {', '.join(circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(circuit.outputs)};")
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.append("")
+    for index, out in enumerate(circuit.topological_order()):
+        gate = circuit.driver(out)
+        if gate is not None:
+            primitive = gate.gate_type.value.lower()
+            lines.append(
+                f"  {primitive} g{index} ({out}, {', '.join(gate.inputs)});"
+            )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^\w$]", "_", name) or "top"
+
+
+def write_verilog_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to disk as structural Verilog."""
+    Path(path).write_text(to_verilog(circuit))

@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli table1 [--circuits c17 alu ...] [--pairs N]
+    python -m repro.cli table2 [--circuits ...] [--pairs N]
+    python -m repro.cli figures
+    python -m repro.cli ablations [--which triangulation|segmentation|compile|inputs]
+    python -m repro.cli estimate --circuit c17 [--p-one 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table, rows_from_dicts
+from repro.circuits import suite
+from repro.core.inputs import IndependentInputs
+
+
+def _cmd_table1(args) -> None:
+    from repro.experiments.table1 import TABLE1_COLUMNS, run_table1
+
+    rows = run_table1(args.circuits, n_pairs=args.pairs, seed=args.seed)
+    print(
+        format_table(
+            TABLE1_COLUMNS,
+            rows_from_dicts(rows, TABLE1_COLUMNS),
+            title="Table 1: switching activity estimation by Bayesian network modeling",
+        )
+    )
+
+
+def _cmd_table2(args) -> None:
+    from repro.experiments.table2 import TABLE2_COLUMNS, run_table2
+
+    rows = run_table2(args.circuits, n_pairs=args.pairs, seed=args.seed)
+    print(
+        format_table(
+            TABLE2_COLUMNS,
+            rows_from_dicts(rows, TABLE2_COLUMNS),
+            title="Table 2: BN vs approximate dependency models",
+        )
+    )
+
+
+def _cmd_figures(_args) -> None:
+    from repro.experiments.figures import figure_walkthrough
+
+    data = figure_walkthrough()
+    circuit = data["circuit"]
+    print("Figure 1: example circuit")
+    for line in circuit.internal_lines:
+        print(f"  {circuit.driver(line)}")
+    print("\nFigure 2: LIDAG-structured Bayesian network")
+    print(f"  joint = {data['factorization']}")
+    for u, v in data["lidag_edges"]:
+        print(f"  X{u} -> X{v}")
+    print("\nFigure 3: moralized + triangulated graph")
+    print(f"  marriage edges added: {data['marriages']}")
+    print(f"  triangulation fill-ins: {data['fill_ins']}")
+    print("\nFigure 4: junction tree of cliques")
+    for clique in data["cliques"]:
+        print(f"  clique {{{', '.join('X' + x for x in clique)}}}")
+    for left, right, sep in data["separators"]:
+        print(
+            f"  {sorted(left)} --{sorted(sep)}-- {sorted(right)}"
+        )
+
+
+def _cmd_ablations(args) -> None:
+    from repro.experiments import ablations
+
+    which = args.which
+    if which in ("triangulation", "all"):
+        rows = ablations.ablate_triangulation()
+        cols = ["circuit", "heuristic", "fill_ins", "max_clique_states", "compile_s"]
+        print(format_table(cols, rows_from_dicts(rows, cols), title="Triangulation heuristics"))
+        print()
+    if which in ("segmentation", "all"):
+        rows = ablations.ablate_segmentation()
+        cols = [
+            "circuit", "boundary", "lookback", "backend", "segments",
+            "mu_abs_err", "sigma_err", "pct_err", "compile_s",
+        ]
+        print(format_table(cols, rows_from_dicts(rows, cols), title="Segmentation knobs"))
+        print()
+    if which in ("compile", "all"):
+        rows = ablations.ablate_compile_vs_propagate()
+        cols = ["circuit", "gates", "compile_s", "mean_propagate_s", "speedup"]
+        print(format_table(cols, rows_from_dicts(rows, cols), title="Compile vs propagate"))
+        print()
+    if which in ("inputs", "all"):
+        rows = ablations.ablate_input_models()
+        cols = [
+            "circuit", "input_model", "mean_activity",
+            "sim_mean_activity", "mu_abs_err", "sigma_err",
+        ]
+        print(format_table(cols, rows_from_dicts(rows, cols), title="Input statistics models"))
+
+
+def _cmd_estimate(args) -> None:
+    from repro.experiments.table1 import make_estimator
+
+    circuit = suite.load_circuit(args.circuit)
+    estimator = make_estimator(circuit, IndependentInputs(args.p_one))
+    result = estimator.estimate()
+    print(
+        f"{args.circuit}: {circuit.num_gates} gates, {result.segments} segment(s), "
+        f"compile {result.compile_seconds:.3f}s, propagate {result.propagate_seconds:.3f}s"
+    )
+    print(f"mean switching activity: {result.mean_activity():.4f}")
+    outputs = [(ln, result.switching(ln)) for ln in circuit.outputs]
+    print(
+        format_table(
+            ["output", "switching"],
+            outputs,
+            title="Primary-output switching activity",
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Bayesian-network switching activity experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="accuracy + timing over the benchmark suite")
+    p1.add_argument("--circuits", nargs="*", default=None, choices=suite.FULL_SUITE)
+    p1.add_argument("--pairs", type=int, default=100_000)
+    p1.add_argument("--seed", type=int, default=0)
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="BN vs approximate dependency models")
+    p2.add_argument("--circuits", nargs="*", default=None, choices=suite.FULL_SUITE)
+    p2.add_argument("--pairs", type=int, default=100_000)
+    p2.add_argument("--seed", type=int, default=0)
+    p2.set_defaults(func=_cmd_table2)
+
+    pf = sub.add_parser("figures", help="Figures 1-4 walkthrough")
+    pf.set_defaults(func=_cmd_figures)
+
+    pa = sub.add_parser("ablations", help="design-choice ablations")
+    pa.add_argument(
+        "--which",
+        default="all",
+        choices=["triangulation", "segmentation", "compile", "inputs", "all"],
+    )
+    pa.set_defaults(func=_cmd_ablations)
+
+    pe = sub.add_parser("estimate", help="estimate one suite circuit")
+    pe.add_argument("--circuit", required=True, choices=suite.FULL_SUITE)
+    pe.add_argument("--p-one", type=float, default=0.5)
+    pe.set_defaults(func=_cmd_estimate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Deterministic gate CPTs over transition states (paper Section 4).
+
+The conditional probability of an output line's transition given its
+input lines' transitions is fully determined by the gate type: apply
+the gate's Boolean function to the t-1 input values to get the t-1
+output value, and to the t input values to get the t output value.
+Every row of the table is therefore an indicator vector -- e.g. for an
+OR gate ``P(X5 = x01 | X1 = x01, X2 = x00) = 1`` (the paper's example).
+
+A gate with k inputs yields a table with ``4^k`` rows, exactly the
+"4^3 entries" the paper quotes for two-input gates' CPTs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+from repro.bayesian.cpd import TabularCPD
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.netlist import Circuit, Gate
+from repro.core.states import N_STATES, TransitionState
+
+
+@lru_cache(maxsize=None)
+def _transition_function(gate_type: GateType, arity: int) -> Tuple[int, ...]:
+    """Output transition state per flat parent-state index (cached).
+
+    Index ``k`` encodes the parent states in row-major order (parent 0
+    most significant), matching ``numpy.unravel_index``.
+    """
+    table = []
+    for flat in range(N_STATES ** arity):
+        states = _decode_flat(flat, arity)
+        prev_bits = [(s >> 1) & 1 for s in states]
+        curr_bits = [s & 1 for s in states]
+        out_prev = evaluate_gate(gate_type, prev_bits)
+        out_curr = evaluate_gate(gate_type, curr_bits)
+        table.append((out_prev << 1) | out_curr)
+    return tuple(table)
+
+
+def _decode_flat(flat: int, arity: int) -> Tuple[int, ...]:
+    """Row-major decode of a flat index into per-parent states."""
+    states = []
+    for position in range(arity - 1, -1, -1):
+        states.append((flat // (N_STATES ** position)) % N_STATES)
+    return tuple(states)
+
+
+def gate_transition_cpd(gate: Gate) -> TabularCPD:
+    """The deterministic CPD ``P(output transition | input transitions)``."""
+    arity = gate.arity
+    function_table = _transition_function(gate.gate_type, arity)
+
+    def output_state(*parent_states: int) -> int:
+        flat = 0
+        for state in parent_states:
+            flat = flat * N_STATES + state
+        return function_table[flat]
+
+    return TabularCPD.deterministic(
+        gate.output,
+        N_STATES,
+        list(gate.inputs),
+        [N_STATES] * arity,
+        output_state,
+    )
+
+
+def circuit_transition_cpds(circuit: Circuit) -> list:
+    """Gate CPDs for every gate-driven line of a circuit."""
+    return [gate_transition_cpd(gate) for gate in circuit.gates.values()]
+
+
+def output_transition(
+    gate_type: GateType, input_states: Sequence[int]
+) -> TransitionState:
+    """Direct functional form: output transition for given input transitions."""
+    prev_bits = [(s >> 1) & 1 for s in input_states]
+    curr_bits = [s & 1 for s in input_states]
+    out_prev = evaluate_gate(gate_type, prev_bits)
+    out_curr = evaluate_gate(gate_type, curr_bits)
+    return TransitionState((out_prev << 1) | out_curr)

@@ -1,0 +1,232 @@
+"""The user-facing switching-activity estimator.
+
+:class:`SwitchingActivityEstimator` implements the paper's flow on a
+single Bayesian network:
+
+- ``compile()`` -- build the LIDAG, moralize, triangulate, and build the
+  junction tree (slow, once per circuit),
+- ``estimate()`` -- calibrate by message passing and read off every
+  line's 4-state marginal (fast),
+- ``update_inputs()`` -- swap input statistics without recompiling
+  (the paper's advantage #3: "repeated computation of switching activity
+  of the circuit with different input statistics does not require much
+  time").
+
+:func:`exact_switching_by_enumeration` is the brute-force oracle used
+to prove exactness on small circuits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.bayesian.junction import JunctionTree
+from repro.circuits.netlist import Circuit
+from repro.core.cpt import output_transition
+from repro.core.inputs import IndependentInputs, InputModel
+from repro.core.lidag import build_lidag
+from repro.core.states import N_STATES, switching_probability
+
+
+# Raised before any large table is materialized; callers should fall
+# back to :class:`repro.core.segmentation.SegmentedEstimator`.
+from repro.bayesian.junction import CliqueBudgetExceeded  # noqa: F401  (re-export)
+
+
+@dataclass
+class SwitchingEstimate:
+    """Per-line switching estimates plus timing breakdown."""
+
+    #: 4-state transition distribution per line name.
+    distributions: Dict[str, np.ndarray]
+    #: seconds spent building LIDAG + junction tree (the compile phase)
+    compile_seconds: float
+    #: seconds spent calibrating + reading marginals (the update phase)
+    propagate_seconds: float
+    #: "single-bn" or "segmented"
+    method: str = "single-bn"
+    #: number of Bayesian networks used
+    segments: int = 1
+
+    def switching(self, line: str) -> float:
+        """Switching activity of one line: P(x01) + P(x10)."""
+        return switching_probability(self.distributions[line])
+
+    @property
+    def activities(self) -> Dict[str, float]:
+        """Switching activity of every line."""
+        return {ln: self.switching(ln) for ln in self.distributions}
+
+    def mean_activity(self) -> float:
+        """Average switching activity over all lines."""
+        acts = self.activities
+        return float(np.mean(list(acts.values()))) if acts else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + self.propagate_seconds
+
+
+class SwitchingActivityEstimator:
+    """Single-BN switching-activity estimation for a combinational circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyse.
+    input_model:
+        Primary-input statistics (default: independent fair coins).
+    heuristic:
+        Triangulation heuristic, ``"min_fill"`` (default) or
+        ``"min_degree"``.
+    max_clique_states:
+        Budget on the largest clique table.  Exceeding it raises
+        :class:`CliqueBudgetExceeded` so callers can segment instead of
+        thrashing memory.  ``None`` disables the check.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        input_model: Optional[InputModel] = None,
+        heuristic: str = "min_fill",
+        max_clique_states: Optional[int] = 4 ** 10,
+    ):
+        self.circuit = circuit
+        self.input_model = input_model if input_model is not None else IndependentInputs(0.5)
+        self.heuristic = heuristic
+        self.max_clique_states = max_clique_states
+        self._bn = None
+        self._jt: Optional[JunctionTree] = None
+        self.compile_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def compile(self) -> "SwitchingActivityEstimator":
+        """Build the LIDAG and its junction tree (idempotent)."""
+        if self._jt is not None:
+            return self
+        start = time.perf_counter()
+        self._bn = build_lidag(self.circuit, self.input_model)
+        self._jt = JunctionTree.from_network(
+            self._bn,
+            heuristic=self.heuristic,
+            max_clique_states=self.max_clique_states,
+        )
+        self.compile_seconds = time.perf_counter() - start
+        return self
+
+    @property
+    def junction_tree(self) -> JunctionTree:
+        """The compiled junction tree (compiles on first access)."""
+        self.compile()
+        return self._jt
+
+    def update_inputs(self, input_model: InputModel) -> None:
+        """Swap input statistics without recompiling.
+
+        Requires the new model to induce the same input-to-input edge
+        structure (e.g. independent -> temporal is fine; adding new
+        correlation groups needs a recompile).
+        """
+        self.compile()
+        new_cpds = input_model.input_cpds(self.circuit.inputs)
+        self._jt.update_cpds(new_cpds)
+        self.input_model = input_model
+
+    # ------------------------------------------------------------------
+
+    def estimate(self) -> SwitchingEstimate:
+        """Calibrate and return every line's transition distribution."""
+        self.compile()
+        start = time.perf_counter()
+        self._jt.calibrate()
+        distributions = {
+            line: self._jt.marginal(line) for line in self.circuit.lines
+        }
+        propagate_seconds = time.perf_counter() - start
+        return SwitchingEstimate(
+            distributions=distributions,
+            compile_seconds=self.compile_seconds,
+            propagate_seconds=propagate_seconds,
+        )
+
+    def line_distribution(self, line: str) -> np.ndarray:
+        """Convenience: one line's 4-state marginal."""
+        self.compile()
+        return self._jt.marginal(line)
+
+    def conditional_distribution(
+        self, line: str, evidence: Mapping[str, int]
+    ) -> np.ndarray:
+        """Posterior transition distribution given observed transitions.
+
+        The Bayesian network answers *diagnostic* queries the classic
+        propagation methods cannot: e.g. the switching of an internal
+        line given that a primary output was observed to rise
+        (``evidence={"out": TransitionState.X01}``).  The evidence is
+        local to this call.
+        """
+        self.compile()
+        self._jt.set_evidence({k: int(v) for k, v in evidence.items()})
+        try:
+            self._jt.calibrate()
+            return self._jt.marginal(line)
+        finally:
+            self._jt.clear_evidence()
+
+    def conditional_switching(self, line: str, evidence: Mapping[str, int]) -> float:
+        """Switching activity of ``line`` given observed transitions."""
+        return switching_probability(self.conditional_distribution(line, evidence))
+
+
+def exact_switching_by_enumeration(
+    circuit: Circuit, input_model: Optional[InputModel] = None
+) -> Dict[str, np.ndarray]:
+    """Exact per-line transition distributions by joint enumeration.
+
+    Enumerates all ``4^n`` joint input transition assignments, weights
+    each by the input model's joint probability, and functionally
+    propagates transitions through the circuit.  Exponential in the
+    input count -- this is the ground-truth oracle for small circuits.
+    """
+    model = input_model if input_model is not None else IndependentInputs(0.5)
+    inputs = circuit.inputs
+    n = len(inputs)
+    if n > 12:
+        raise ValueError(f"enumeration over 4^{n} input states is infeasible")
+
+    # Joint input distribution from the model's CPDs (handles correlated
+    # groups transparently).
+    from repro.bayesian.network import BayesianNetwork
+
+    input_bn = BayesianNetwork("inputs")
+    for cpd in model.input_cpds(inputs):
+        input_bn.add_cpd(cpd)
+    joint = input_bn.joint_factor().permute(inputs)
+
+    distributions = {
+        line: np.zeros(N_STATES) for line in circuit.lines
+    }
+    order = circuit.topological_order()
+    for assignment in itertools.product(range(N_STATES), repeat=n):
+        weight = float(joint.values[assignment])
+        if weight == 0.0:
+            continue
+        states: Dict[str, int] = dict(zip(inputs, assignment))
+        for line in order:
+            gate = circuit.driver(line)
+            if gate is not None:
+                states[line] = int(
+                    output_transition(
+                        gate.gate_type, [states[s] for s in gate.inputs]
+                    )
+                )
+        for line, state in states.items():
+            distributions[line][state] += weight
+    return distributions

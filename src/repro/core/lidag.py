@@ -1,0 +1,113 @@
+"""LIDAG construction (Definition 8) and Theorem-3 machinery.
+
+The Logic-Induced Directed Acyclic Graph has one node per circuit line
+(its 4-state transition variable) and a directed edge from every gate
+input's variable to the gate output's variable.  Theorem 3 of the paper
+proves this DAG is a *minimal I-map* of the switching dependency model
+-- i.e. a Bayesian network: with the lines ordered inputs-first and
+topologically, each output line's Markov boundary is exactly its gate's
+input set, so the LIDAG is a boundary DAG, and boundary DAGs are
+minimal I-maps (Pearl's Theorem 2).
+
+:func:`build_lidag` quantifies the structure with deterministic gate
+CPTs and the input model's CPDs;
+:func:`verify_imap` checks Theorem 3 empirically on small circuits by
+confronting every displayed d-separation with the enumerated joint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.bayesian.dsep import all_d_separations
+from repro.bayesian.network import BayesianNetwork
+from repro.circuits.netlist import Circuit
+from repro.core.cpt import gate_transition_cpd
+from repro.core.inputs import IndependentInputs, InputModel
+
+
+def build_lidag(
+    circuit: Circuit, input_model: Optional[InputModel] = None
+) -> BayesianNetwork:
+    """Build the LIDAG-structured Bayesian network of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The combinational circuit.
+    input_model:
+        Statistics of the primary inputs; defaults to independent
+        fair-coin streams (the paper's random-input setting).
+
+    Returns
+    -------
+    A validated :class:`BayesianNetwork` whose nodes are the circuit's
+    line names, each a 4-state transition variable.
+    """
+    model = input_model if input_model is not None else IndependentInputs(0.5)
+    bn = BayesianNetwork(f"lidag-{circuit.name}")
+    for cpd in model.input_cpds(circuit.inputs):
+        bn.add_cpd(cpd)
+    for line in circuit.topological_order():
+        gate = circuit.driver(line)
+        if gate is not None:
+            bn.add_cpd(gate_transition_cpd(gate))
+    bn.validate()
+    return bn
+
+
+def lidag_node_ordering(circuit: Circuit) -> List[str]:
+    """The Theorem-3 ordering: input lines first, then outputs topologically.
+
+    Relative to this ordering each line's Markov boundary is its gate's
+    input set (empty for primary inputs), which is what makes the LIDAG
+    a boundary DAG.
+    """
+    order = circuit.topological_order()
+    inputs = [ln for ln in order if circuit.driver(ln) is None]
+    internals = [ln for ln in order if circuit.driver(ln) is not None]
+    return inputs + internals
+
+
+def markov_boundaries(circuit: Circuit) -> Dict[str, Set[str]]:
+    """Markov boundary of each line relative to the Theorem-3 ordering."""
+    boundaries: Dict[str, Set[str]] = {}
+    for line in circuit.topological_order():
+        gate = circuit.driver(line)
+        boundaries[line] = set(gate.inputs) if gate is not None else set()
+    return boundaries
+
+
+def verify_imap(
+    bn: BayesianNetwork,
+    max_conditioning: int = 1,
+    atol: float = 1e-9,
+) -> bool:
+    """Empirically verify the I-map property of a (small) network.
+
+    Enumerates the joint distribution and checks that every pairwise
+    d-separation displayed by the DAG (with conditioning sets up to
+    ``max_conditioning``) is a true conditional independence.  This is
+    the testable half of Theorem 3; exponential, so only use on small
+    LIDAGs.
+    """
+    import itertools
+
+    joint = bn.joint_factor()
+    dag = bn.to_digraph()
+    for x, y, z in all_d_separations(dag, max_conditioning=max_conditioning):
+        z_list = sorted(z)
+        pxyz = joint.marginal_onto([x, y] + z_list).permute([x, y] + z_list)
+        cards = [pxyz.cardinality(v) for v in z_list]
+        for z_states in itertools.product(*(range(c) for c in cards)):
+            sub = pxyz.values[(slice(None), slice(None)) + z_states]
+            total = sub.sum()
+            if total < atol:
+                continue
+            cond = sub / total
+            outer = cond.sum(axis=1)[:, None] * cond.sum(axis=0)[None, :]
+            if not np.allclose(cond, outer, atol=1e-7):
+                return False
+    return True

@@ -1,0 +1,598 @@
+"""Multiple-BN estimation of large circuits (paper Section 6).
+
+Circuits whose single junction tree would blow the clique budget are cut
+into *segments* along the topological order.  Each segment becomes its
+own LIDAG/junction tree; the 4-state marginals of the lines crossing a
+segment boundary are computed in the upstream segment and handed to the
+downstream segment as independent input priors.
+
+This is exactly the paper's "preliminary segmentation scheme":
+single-segment circuits are exact, while multi-segment circuits lose the
+*joint* correlation of boundary lines (only their marginals cross the
+cut), which is the error source the paper reports for its larger
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesian.cpd import TabularCPD
+from repro.circuits.netlist import Circuit
+from repro.core.estimator import (
+    CliqueBudgetExceeded,
+    SwitchingActivityEstimator,
+    SwitchingEstimate,
+)
+from repro.core.inputs import IndependentInputs, InputModel
+from repro.core.states import N_STATES, current_values, previous_values
+
+
+class FixedMarginalInputs(InputModel):
+    """Input model pinning each input line to a given 4-state marginal.
+
+    Used internally to feed upstream-segment marginals into downstream
+    segments; also handy for tests.
+    """
+
+    def __init__(self, distributions: Mapping[str, np.ndarray]):
+        self._distributions = {
+            name: np.asarray(dist, dtype=np.float64)
+            for name, dist in distributions.items()
+        }
+        for name, dist in self._distributions.items():
+            if dist.shape != (N_STATES,):
+                raise ValueError(f"distribution for {name!r} must have length {N_STATES}")
+            if not np.isclose(dist.sum(), 1.0, atol=1e-8):
+                raise ValueError(f"distribution for {name!r} does not sum to 1")
+
+    def marginal_distribution(self, name: str) -> np.ndarray:
+        if name not in self._distributions:
+            raise KeyError(f"no distribution for input {name!r}")
+        return self._distributions[name]
+
+    def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return [
+            TabularCPD.prior(name, self.marginal_distribution(name))
+            for name in input_names
+        ]
+
+    def sample_pairs(self, input_names, n_pairs, rng):
+        states = np.empty((n_pairs, len(input_names)), dtype=np.int64)
+        for j, name in enumerate(input_names):
+            states[:, j] = rng.choice(
+                N_STATES, size=n_pairs, p=self.marginal_distribution(name)
+            )
+        return (
+            previous_values(states).astype(np.uint8),
+            current_values(states).astype(np.uint8),
+        )
+
+
+class TreeBoundaryInputs(InputModel):
+    """Segment input model with tree-structured boundary correlation.
+
+    Boundary lines form a forest: roots carry their upstream marginal,
+    every other line carries a conditional table given its tree parent
+    (both refreshed from the upstream junction trees at estimate time).
+    This implements the paper's stated future work -- "an efficient
+    segmentation technique that will reduce the standard deviation and
+    the mean error" -- by letting pairwise boundary joints cross the cut
+    instead of bare marginals.
+    """
+
+    def __init__(
+        self,
+        priors: Mapping[str, np.ndarray],
+        parent_of: Mapping[str, str],
+        conditionals: Optional[Mapping[str, np.ndarray]] = None,
+    ):
+        self._priors = {k: np.asarray(v, dtype=np.float64) for k, v in priors.items()}
+        self._parent_of = dict(parent_of)
+        self._conditionals = {
+            k: np.asarray(v, dtype=np.float64) for k, v in (conditionals or {}).items()
+        }
+        for child, parent in self._parent_of.items():
+            if child not in self._priors or parent not in self._priors:
+                raise KeyError(f"tree edge {parent!r}->{child!r} references unknown line")
+
+    def marginal_distribution(self, name: str) -> np.ndarray:
+        return self._priors[name]
+
+    def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        available = set(input_names)
+        cpds: List[TabularCPD] = []
+        for name in input_names:
+            parent = self._parent_of.get(name)
+            if parent is None or parent not in available:
+                cpds.append(TabularCPD.prior(name, self._priors[name]))
+            else:
+                table = self._conditionals.get(name)
+                if table is None:
+                    # Placeholder structure before numbers are known.
+                    table = np.tile(self._priors[name], (N_STATES, 1))
+                cpds.append(TabularCPD(name, N_STATES, table, [parent]))
+        return cpds
+
+    def sample_pairs(self, input_names, n_pairs, rng):
+        index = {name: j for j, name in enumerate(input_names)}
+        ordered = [n for n in input_names if self._parent_of.get(n) not in index]
+        pending = [n for n in input_names if n not in ordered]
+        while pending:
+            progressed = [n for n in pending if self._parent_of[n] in set(ordered)]
+            if not progressed:
+                raise ValueError("boundary tree contains a cycle")
+            ordered.extend(progressed)
+            pending = [n for n in pending if n not in set(progressed)]
+        states = np.empty((n_pairs, len(input_names)), dtype=np.int64)
+        for name in ordered:
+            j = index[name]
+            parent = self._parent_of.get(name)
+            if parent is None or parent not in index or name not in self._conditionals:
+                states[:, j] = rng.choice(N_STATES, size=n_pairs, p=self._priors[name])
+            else:
+                table = self._conditionals[name]
+                parent_states = states[:, index[parent]]
+                u = rng.random(n_pairs)[:, None]
+                cdfs = np.cumsum(table[parent_states], axis=1)
+                states[:, j] = (u > cdfs[:, :-1]).sum(axis=1)
+        return (
+            previous_values(states).astype(np.uint8),
+            current_values(states).astype(np.uint8),
+        )
+
+
+class SegmentedEstimator:
+    """Switching-activity estimation with multiple Bayesian networks.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyse.
+    input_model:
+        Primary-input statistics.  Note: across segment boundaries only
+        marginals (or, in ``boundary="tree"`` mode, a spanning forest of
+        pairwise joints) propagate, so spatial input correlation is
+        preserved exactly only within a single segment.
+    max_gates_per_segment:
+        Initial segment granularity; segments whose junction tree would
+        exceed ``max_clique_states`` are split in half recursively.
+    max_clique_states:
+        Per-segment clique table budget.
+    lookback:
+        Levels of upstream logic duplicated into each segment.  The
+        duplicated cone re-creates reconvergent correlations close to
+        the cut, shrinking the boundary-independence error at the cost
+        of larger segments.  0 reproduces the naive scheme.
+    boundary:
+        ``"independent"`` hands only marginals across cuts (the paper's
+        preliminary scheme); ``"tree"`` additionally carries a spanning
+        forest of pairwise boundary joints (the paper's future-work
+        segmentation, our default).
+    enum_input_states:
+        When a segment's junction tree would blow the clique budget but
+        the segment has few *inputs*, fall back to exact support
+        enumeration (:class:`~repro.core.enumeration.EnumerationSegment`)
+        instead of splitting it -- deterministic CPTs make the segment's
+        joint support only ``4^inputs`` large no matter the treewidth.
+        This is the budget on that support size; 0 disables the fallback.
+    backend:
+        ``"auto"`` (default): junction trees with the enumeration
+        fallback.  ``"jt"``: junction trees only (the paper's setup).
+        ``"enum"``: every segment is enumerated; the partition greedily
+        grows segments along the cone order until the *input-count*
+        budget, which typically yields far fewer, larger, exact
+        segments on high-treewidth circuits.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        input_model: Optional[InputModel] = None,
+        max_gates_per_segment: int = 60,
+        max_clique_states: int = 4 ** 9,
+        heuristic: str = "min_fill",
+        lookback: int = 3,
+        boundary: str = "tree",
+        enum_input_states: int = 4 ** 9,
+        backend: str = "auto",
+    ):
+        if max_gates_per_segment < 1:
+            raise ValueError("max_gates_per_segment must be >= 1")
+        if lookback < 0:
+            raise ValueError("lookback must be >= 0")
+        if boundary not in ("independent", "tree"):
+            raise ValueError(f"unknown boundary mode {boundary!r}")
+        if backend not in ("auto", "jt", "enum"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "enum" and not enum_input_states:
+            raise ValueError("backend='enum' requires enum_input_states > 0")
+        self.circuit = circuit
+        self.input_model = input_model if input_model is not None else IndependentInputs(0.5)
+        self.max_gates_per_segment = max_gates_per_segment
+        self.max_clique_states = max_clique_states
+        self.heuristic = heuristic
+        self.lookback = lookback
+        self.boundary = boundary
+        self.enum_input_states = enum_input_states
+        self.backend = backend
+        self._segments: List[Tuple[Circuit, object, set]] = []
+        #: per segment: child -> tree parent among that segment's inputs
+        self._boundary_trees: List[Dict[str, str]] = []
+        #: line -> index of the segment that owns (publishes) it
+        self._owner: Dict[str, int] = {}
+        self.compile_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def compile(self) -> "SegmentedEstimator":
+        """Partition the circuit and compile one junction tree per segment."""
+        if self._segments:
+            return self
+        start = time.perf_counter()
+        internal = self._cone_clustered_order()
+        self._position = {
+            ln: i for i, ln in enumerate(self.circuit.topological_order())
+        }
+        self._cone_cache: Dict[str, frozenset] = {}
+        if self.backend == "enum":
+            chunks = self._partition_by_inputs(internal)
+            for index, chunk in enumerate(chunks):
+                self._compile_enum_chunk(chunk, f"{index}")
+        else:
+            chunks = [
+                internal[i : i + self.max_gates_per_segment]
+                for i in range(0, len(internal), self.max_gates_per_segment)
+            ]
+            for index, chunk in enumerate(chunks):
+                self._compile_chunk(chunk, f"{index}", self.lookback)
+        self.compile_seconds = time.perf_counter() - start
+        return self
+
+    def _partition_by_inputs(self, order: List[str]) -> List[List[str]]:
+        """Greedy cone-order partition bounded by external-input count.
+
+        Enumeration cost is ``4^inputs`` regardless of segment size, so
+        segments grow until adding the next gate would push the external
+        input set past the budget.
+        """
+        max_inputs = int(np.log(self.enum_input_states) / np.log(N_STATES))
+        chunks: List[List[str]] = []
+        current: List[str] = []
+        produced: set = set()
+        external: set = set()
+        for line in order:
+            gate = self.circuit.driver(line)
+            new_external = {s for s in gate.inputs if s not in produced}
+            if current and len(external | new_external) > max_inputs:
+                chunks.append(current)
+                current = []
+                produced = set()
+                external = set()
+                new_external = set(gate.inputs)
+            current.append(line)
+            produced.add(line)
+            external |= new_external
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _compile_enum_chunk(self, chunk: List[str], label: str) -> None:
+        """Build an enumeration segment for a chunk.
+
+        Like the junction-tree path, upstream logic is duplicated into
+        the segment (``lookback`` levels) to regenerate reconvergent
+        correlation near the cut; the lookback shrinks until the
+        expanded segment's input count fits the enumeration budget (the
+        unexpanded chunk always fits by construction).
+        """
+        from repro.core.enumeration import EnumerationSegment, SegmentTooWide
+
+        owned = set(chunk)
+        for lookback in range(self.lookback, -1, -1):
+            expanded = self._expand_with_lookback(chunk, lookback)
+            sources = {
+                src for line in expanded for src in self.circuit.driver(line).inputs
+            }
+            lines = sorted(expanded | sources, key=self._position.__getitem__)
+            segment = self.circuit.subcircuit(
+                lines, name=f"{self.circuit.name}.seg{label}"
+            )
+            uniform = {name: np.full(N_STATES, 0.25) for name in segment.inputs}
+            if self.boundary == "tree":
+                parent_of = self._boundary_tree_for(segment.inputs)
+                placeholder: InputModel = TreeBoundaryInputs(uniform, parent_of)
+            else:
+                parent_of = {}
+                placeholder = FixedMarginalInputs(uniform)
+            try:
+                estimator = EnumerationSegment(
+                    segment,
+                    placeholder,
+                    max_input_states=self.enum_input_states,
+                    keep_lines=owned,
+                )
+            except SegmentTooWide:
+                continue
+            self._register_segment(segment, estimator, owned, parent_of)
+            return
+        raise AssertionError("unexpanded enum chunk must fit its own budget")
+
+    def _boundary_tree_for(self, inputs: Sequence[str]) -> Dict[str, str]:
+        """Spanning forest over segment inputs whose pairwise joints are
+        available upstream, weighted by shared-fanin-cone size."""
+        import itertools
+
+        import networkx as nx
+
+        by_provider: Dict[int, List[str]] = {}
+        for line in inputs:
+            provider = self._owner.get(line)
+            if provider is not None:
+                by_provider.setdefault(provider, []).append(line)
+
+        graph = nx.Graph()
+        for provider, lines in by_provider.items():
+            if len(lines) < 2:
+                continue
+            provider_estimator = self._segments[provider][1]
+            for a, b in itertools.combinations(lines, 2):
+                if self._provider_has_joint(provider_estimator, a, b):
+                    weight = self._cone_overlap(a, b)
+                    if weight > 0:
+                        graph.add_edge(a, b, weight=weight)
+
+        parent_of: Dict[str, str] = {}
+        forest = nx.Graph()
+        forest.add_edges_from(nx.maximum_spanning_edges(graph, data=False))
+        for component in nx.connected_components(forest):
+            root = next(iter(component))
+            for parent, child in nx.bfs_edges(forest, root):
+                parent_of[child] = parent
+        return parent_of
+
+    def _cone_overlap(self, a: str, b: str, depth: int = 8) -> int:
+        """Size of the shared truncated fanin cone -- a cheap structural
+        proxy for the correlation strength of two lines."""
+        return len(self._truncated_cone(a, depth) & self._truncated_cone(b, depth))
+
+    def _truncated_cone(self, line: str, depth: int) -> frozenset:
+        cached = self._cone_cache.get(line)
+        if cached is not None:
+            return cached
+        cone = {line}
+        frontier = {line}
+        for _ in range(depth):
+            next_frontier = set()
+            for ln in frontier:
+                gate = self.circuit.driver(ln)
+                if gate is not None:
+                    next_frontier.update(
+                        src for src in gate.inputs if src not in cone
+                    )
+            cone |= next_frontier
+            frontier = next_frontier
+        result = frozenset(cone)
+        self._cone_cache[line] = result
+        return result
+
+    def _cone_clustered_order(self) -> List[str]:
+        """Gate-output lines in DFS post-order from the primary outputs.
+
+        Post-order is a valid topological order (a gate's sources always
+        precede it) whose contiguous ranges follow output *cones* --
+        narrow vertical slices of the circuit -- rather than full-width
+        level bands.  Chunking this order keeps per-segment moral-graph
+        treewidth near the cone width instead of the circuit width,
+        which is what makes large shallow circuits compile.
+        """
+        visited: set = set()
+        order: List[str] = []
+        roots = list(self.circuit.outputs) + self.circuit.internal_lines
+        for root in roots:
+            if root in visited:
+                continue
+            stack = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    order.append(node)
+                    continue
+                if node in visited:
+                    continue
+                visited.add(node)
+                gate = self.circuit.driver(node)
+                if gate is None:
+                    continue  # primary inputs are not chunked
+                stack.append((node, True))
+                for src in gate.inputs:
+                    if src not in visited:
+                        stack.append((src, False))
+        return order
+
+    def _expand_with_lookback(self, chunk: List[str], lookback: int) -> set:
+        """Chunk lines plus ``lookback`` levels of duplicated upstream gates."""
+        expanded = set(chunk)
+        frontier = set(chunk)
+        for _ in range(lookback):
+            next_frontier = set()
+            for line in frontier:
+                gate = self.circuit.driver(line)
+                if gate is None:
+                    continue
+                for src in gate.inputs:
+                    if src not in expanded and self.circuit.driver(src) is not None:
+                        next_frontier.add(src)
+            expanded |= next_frontier
+            frontier = next_frontier
+        return expanded
+
+    def _compile_chunk(self, chunk: List[str], label: str, lookback: int) -> None:
+        """Compile a chunk of gate-output lines, splitting on budget misses.
+
+        On a budget miss the chunk is halved first (quarter-cost
+        retriangulations, lookback accuracy kept); lookback is shed only
+        once the chunk is too small to split usefully.  Finalized
+        segments append to ``self._segments`` in topological order so
+        downstream chunks can see their owners and junction trees.
+        """
+        owned = set(chunk)
+        expanded = self._expand_with_lookback(chunk, lookback)
+        sources = {
+            src
+            for line in expanded
+            for src in self.circuit.driver(line).inputs
+        }
+        lines = sorted(expanded | sources, key=self._position.__getitem__)
+        segment = self.circuit.subcircuit(lines, name=f"{self.circuit.name}.seg{label}")
+        uniform = {name: np.full(N_STATES, 0.25) for name in segment.inputs}
+        if self.boundary == "tree":
+            parent_of = self._boundary_tree_for(segment.inputs)
+            placeholder: InputModel = TreeBoundaryInputs(uniform, parent_of)
+        else:
+            parent_of = {}
+            placeholder = FixedMarginalInputs(uniform)
+        estimator = SwitchingActivityEstimator(
+            segment,
+            input_model=placeholder,
+            heuristic=self.heuristic,
+            max_clique_states=self.max_clique_states,
+        )
+        try:
+            estimator.compile()
+        except CliqueBudgetExceeded:
+            # High treewidth but few inputs: exploit CPT determinism via
+            # exact support enumeration rather than lossy splitting.
+            if self.enum_input_states:
+                from repro.core.enumeration import EnumerationSegment, SegmentTooWide
+
+                try:
+                    enum_estimator = EnumerationSegment(
+                        segment,
+                        placeholder,
+                        max_input_states=self.enum_input_states,
+                        keep_lines=owned,
+                    )
+                    self._register_segment(segment, enum_estimator, owned, parent_of)
+                    return
+                except SegmentTooWide:
+                    pass
+            if len(chunk) > 8:
+                mid = len(chunk) // 2
+                self._compile_chunk(chunk[:mid], label + "a", lookback)
+                self._compile_chunk(chunk[mid:], label + "b", lookback)
+                return
+            if lookback > 0:
+                self._compile_chunk(chunk, label, lookback - 1)
+                return
+            if len(chunk) == 1:
+                raise
+            mid = len(chunk) // 2
+            self._compile_chunk(chunk[:mid], label + "a", 0)
+            self._compile_chunk(chunk[mid:], label + "b", 0)
+            return
+        self._register_segment(segment, estimator, owned, parent_of)
+
+    def _register_segment(self, segment, estimator, owned, parent_of) -> None:
+        segment_index = len(self._segments)
+        self._segments.append((segment, estimator, owned))
+        self._boundary_trees.append(parent_of)
+        for line in owned:
+            self._owner[line] = segment_index
+
+    # ------------------------------------------------------------------
+
+    def estimate(self) -> SwitchingEstimate:
+        """Propagate marginals segment by segment in topological order."""
+        self.compile()
+        start = time.perf_counter()
+        known: Dict[str, np.ndarray] = {
+            name: self.input_model.marginal_distribution(name)
+            for name in self.circuit.inputs
+        }
+        for index, (segment, estimator, owned) in enumerate(self._segments):
+            priors = {name: known[name] for name in segment.inputs}
+            parent_of = self._boundary_trees[index]
+            if parent_of:
+                conditionals = {
+                    child: self._boundary_conditional(child, parent, priors[child])
+                    for child, parent in parent_of.items()
+                }
+                boundary: InputModel = TreeBoundaryInputs(
+                    priors, parent_of, conditionals
+                )
+            else:
+                boundary = FixedMarginalInputs(priors)
+            estimator.update_inputs(boundary)
+            result = estimator.estimate()
+            # Only the owned chunk publishes estimates; duplicated
+            # lookback gates exist solely to rebuild local correlation.
+            for line in segment.internal_lines:
+                if line in owned:
+                    known[line] = result.distributions[line]
+        propagate_seconds = time.perf_counter() - start
+        return SwitchingEstimate(
+            distributions=known,
+            compile_seconds=self.compile_seconds,
+            propagate_seconds=propagate_seconds,
+            method="segmented" if len(self._segments) > 1 else "single-bn",
+            segments=len(self._segments),
+        )
+
+    @staticmethod
+    def _provider_has_joint(provider_estimator, a: str, b: str) -> bool:
+        """Can the provider supply the joint of two of its lines?"""
+        from repro.core.enumeration import EnumerationSegment
+
+        if isinstance(provider_estimator, EnumerationSegment):
+            return True  # enumeration can join any pair it retained
+        cliques = provider_estimator.junction_tree.cliques
+        pair = {a, b}
+        return any(pair <= clique for clique in cliques)
+
+    def _boundary_conditional(
+        self, child: str, parent: str, child_prior: np.ndarray
+    ) -> np.ndarray:
+        """``P(child | parent)`` from the provider segment; rows with
+        (near-)zero parent probability fall back to the child's marginal."""
+        from repro.core.enumeration import EnumerationSegment
+
+        provider = self._segments[self._owner[child]][1]
+        if isinstance(provider, EnumerationSegment):
+            joint = provider.pair_joint(parent, child)
+        else:
+            joint = provider.junction_tree.joint_marginal([parent, child]).values
+        rows = np.empty((N_STATES, N_STATES))
+        for state in range(N_STATES):
+            mass = joint[state].sum()
+            rows[state] = joint[state] / mass if mass > 1e-15 else child_prior
+        return rows
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        self.compile()
+        return len(self._segments)
+
+    def segment_stats(self) -> List[Dict[str, float]]:
+        """Junction-tree statistics per segment (for reports/ablations)."""
+        from repro.core.enumeration import EnumerationSegment
+
+        self.compile()
+        stats = []
+        for segment, estimator, owned in self._segments:
+            if isinstance(estimator, EnumerationSegment):
+                entry = dict(estimator.stats())
+                entry["backend"] = "enumeration"
+            else:
+                entry = dict(estimator.junction_tree.stats())
+                entry["backend"] = "junction-tree"
+            entry["gates"] = segment.num_gates
+            entry["owned_gates"] = len(owned)
+            entry["name"] = segment.name
+            stats.append(entry)
+        return stats

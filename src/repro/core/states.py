@@ -1,0 +1,138 @@
+"""The four-state transition algebra.
+
+Each circuit line's random variable takes one of four values encoding
+the line's logic value at two consecutive clock cycles::
+
+    x00 = 0 -> 0    x01 = 0 -> 1    x10 = 1 -> 0    x11 = 1 -> 1
+
+This is the paper's key representational move: temporal (lag-1)
+correlation is *inside* the state space, so a single static Bayesian
+network captures spatio-temporal dependence.  The switching activity of
+a line is ``P(x01) + P(x10)``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Sequence
+
+import numpy as np
+
+#: Number of transition states per line variable.
+N_STATES = 4
+
+#: Human-readable state names, indexed by state value.
+STATE_NAMES = ("x00", "x01", "x10", "x11")
+
+
+class TransitionState(IntEnum):
+    """Transition of a line between clock t-1 and clock t."""
+
+    X00 = 0
+    X01 = 1
+    X10 = 2
+    X11 = 3
+
+    @classmethod
+    def from_pair(cls, previous: int, current: int) -> "TransitionState":
+        """Encode (value at t-1, value at t) as a transition state."""
+        return cls((int(bool(previous)) << 1) | int(bool(current)))
+
+    @property
+    def previous_value(self) -> int:
+        """The line's logic value at t-1."""
+        return (self.value >> 1) & 1
+
+    @property
+    def current_value(self) -> int:
+        """The line's logic value at t."""
+        return self.value & 1
+
+    @property
+    def is_switch(self) -> bool:
+        """True for the two toggling states x01 and x10."""
+        return self.previous_value != self.current_value
+
+    def __str__(self) -> str:
+        return STATE_NAMES[self.value]
+
+
+def previous_values(states: np.ndarray) -> np.ndarray:
+    """Vectorized t-1 value extraction."""
+    return (np.asarray(states) >> 1) & 1
+
+
+def current_values(states: np.ndarray) -> np.ndarray:
+    """Vectorized t value extraction."""
+    return np.asarray(states) & 1
+
+
+def encode_pairs(previous: np.ndarray, current: np.ndarray) -> np.ndarray:
+    """Vectorized (t-1, t) -> state encoding."""
+    return (np.asarray(previous).astype(np.int64) << 1) | np.asarray(current).astype(
+        np.int64
+    )
+
+
+def switching_probability(distribution: Sequence[float]) -> float:
+    """Switching activity from a 4-state distribution: P(x01) + P(x10)."""
+    dist = np.asarray(distribution, dtype=np.float64)
+    if dist.shape != (N_STATES,):
+        raise ValueError(f"expected a length-{N_STATES} distribution, got {dist.shape}")
+    return float(dist[TransitionState.X01] + dist[TransitionState.X10])
+
+
+def signal_probability(distribution: Sequence[float], at: str = "current") -> float:
+    """P(line = 1) at t (``"current"``) or t-1 (``"previous"``)."""
+    dist = np.asarray(distribution, dtype=np.float64)
+    if dist.shape != (N_STATES,):
+        raise ValueError(f"expected a length-{N_STATES} distribution, got {dist.shape}")
+    if at == "current":
+        return float(dist[TransitionState.X01] + dist[TransitionState.X11])
+    if at == "previous":
+        return float(dist[TransitionState.X10] + dist[TransitionState.X11])
+    raise ValueError("at must be 'current' or 'previous'")
+
+
+def independent_transition_distribution(p_one: float) -> np.ndarray:
+    """4-state distribution of a temporally *independent* stream.
+
+    Consecutive values are i.i.d. Bernoulli(``p_one``), so e.g.
+    ``P(x01) = (1 - p) p``.  This is the model behind the paper's
+    "random input streams" experiments.
+    """
+    if not 0.0 <= p_one <= 1.0:
+        raise ValueError(f"p_one must be in [0, 1], got {p_one}")
+    q = 1.0 - p_one
+    return np.array([q * q, q * p_one, p_one * q, p_one * p_one])
+
+
+def markov_transition_distribution(p_one: float, activity: float) -> np.ndarray:
+    """4-state distribution of a stationary lag-1 Markov stream.
+
+    Parameters
+    ----------
+    p_one:
+        Stationary probability of the line being 1.
+    activity:
+        Desired switching activity ``P(x01) + P(x10)``.  Stationarity
+        forces ``P(x01) = P(x10) = activity / 2``; feasibility requires
+        ``activity / 2 <= min(p_one, 1 - p_one)``.
+
+    Returns
+    -------
+    ``[P(x00), P(x01), P(x10), P(x11)]``.
+    """
+    if not 0.0 <= p_one <= 1.0:
+        raise ValueError(f"p_one must be in [0, 1], got {p_one}")
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity must be in [0, 1], got {activity}")
+    half = activity / 2.0
+    if half > min(p_one, 1.0 - p_one) + 1e-12:
+        raise ValueError(
+            f"activity {activity} infeasible for p_one {p_one}: "
+            f"need activity/2 <= min(p, 1-p)"
+        )
+    return np.array(
+        [1.0 - p_one - half, half, half, p_one - half]
+    ).clip(min=0.0)

@@ -1,0 +1,13 @@
+"""Reproductions of the paper's tables and figures.
+
+Each experiment is a plain function returning row dictionaries, shared
+by the pytest benchmarks under ``benchmarks/`` and the command-line
+interface (``python -m repro.cli``).  See EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.experiments.figures import figure_walkthrough
+from repro.experiments.table1 import run_table1, table1_row
+from repro.experiments.table2 import run_table2
+
+__all__ = ["figure_walkthrough", "run_table1", "run_table2", "table1_row"]

@@ -1,0 +1,60 @@
+"""Figures 1-4: the five-gate walkthrough of Sections 4 and 5.
+
+The paper's figures are structural: the example circuit (Fig. 1), its
+LIDAG-structured Bayesian network (Fig. 2), the moralized + triangulated
+undirected graph (Fig. 3, with the X1--X2 marriage and the X4--X7
+fill-in highlighted), and the junction tree of cliques with separators
+(Fig. 4).  :func:`figure_walkthrough` regenerates all four as data; the
+example script renders them as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bayesian.junction import JunctionTree
+from repro.bayesian.moral import moral_graph_with_fill_report
+from repro.circuits.examples import paper_circuit
+from repro.core.lidag import build_lidag
+
+
+def figure_walkthrough() -> Dict[str, object]:
+    """Reproduce Figures 1-4 as structured data.
+
+    Returns a dict with keys ``circuit``, ``lidag_edges`` (Fig. 2),
+    ``moral_edges`` / ``marriages`` / ``fill_ins`` (Fig. 3), and
+    ``cliques`` / ``separators`` (Fig. 4), plus the Eq. 7 factorization
+    string.
+    """
+    circuit = paper_circuit()
+    bn = build_lidag(circuit)
+
+    moral, marriages = moral_graph_with_fill_report(bn)
+    jt = JunctionTree.from_network(bn)
+
+    factor_terms = []
+    for node in reversed(bn.topological_order()):
+        parents = bn.parents(node)
+        if parents:
+            factor_terms.append(f"P(x{node}|{','.join('x' + p for p in parents)})")
+        else:
+            factor_terms.append(f"P(x{node})")
+    factorization = " ".join(factor_terms)
+
+    separators: List[tuple] = []
+    for u, v in jt.tree.edges:
+        separators.append(
+            (sorted(jt.cliques[u]), sorted(jt.cliques[v]), sorted(jt.cliques[u] & jt.cliques[v]))
+        )
+
+    return {
+        "circuit": circuit,
+        "lidag_edges": sorted(bn.edges),
+        "moral_edges": sorted(tuple(sorted(e)) for e in moral.edges),
+        "marriages": sorted(tuple(sorted(e)) for e in marriages),
+        "fill_ins": sorted(tuple(sorted(e)) for e in jt.fill_ins),
+        "cliques": sorted(sorted(c) for c in jt.cliques),
+        "separators": separators,
+        "factorization": factorization,
+        "junction_tree": jt,
+    }

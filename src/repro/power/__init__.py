@@ -1,0 +1,21 @@
+"""Dynamic power estimation on top of switching activity.
+
+Switching activity is the circuit-dependent half of the CMOS dynamic
+power equation ``P = 0.5 * Vdd^2 * f * sum_i C_i * sw_i``; this package
+supplies the other half: a fanout-based load-capacitance model and the
+aggregation, so the estimator's output turns into watts.
+"""
+
+from repro.power.model import (
+    PowerReport,
+    Technology,
+    fanout_capacitances,
+    power_from_activities,
+)
+
+__all__ = [
+    "PowerReport",
+    "Technology",
+    "fanout_capacitances",
+    "power_from_activities",
+]

@@ -1,0 +1,108 @@
+"""Switched-capacitance dynamic power model.
+
+``P_dyn = 0.5 * Vdd^2 * f_clk * sum_i C_i * sw_i`` where ``sw_i`` is
+the switching activity of line ``i`` (transitions per cycle) and
+``C_i`` its load capacitance.  The capacitance model is the standard
+gate-level approximation: a per-fanout input capacitance plus a fixed
+wire term, scaled by the technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.circuits.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A minimal technology description for power estimation."""
+
+    #: supply voltage in volts
+    vdd: float = 1.8
+    #: clock frequency in hertz
+    clock_hz: float = 100e6
+    #: input capacitance presented by one gate input, in farads
+    gate_input_cap: float = 2e-15
+    #: fixed wire capacitance per line, in farads
+    wire_cap: float = 1e-15
+    #: capacitance of a primary-output pin, in farads
+    output_pin_cap: float = 10e-15
+
+    def __post_init__(self):
+        if self.vdd <= 0 or self.clock_hz <= 0:
+            raise ValueError("vdd and clock_hz must be positive")
+        if min(self.gate_input_cap, self.wire_cap, self.output_pin_cap) < 0:
+            raise ValueError("capacitances must be non-negative")
+
+
+#: A 180 nm-flavoured default, roughly matching the paper's era.
+DEFAULT_TECHNOLOGY = Technology()
+
+
+def fanout_capacitances(
+    circuit: Circuit, technology: Technology = DEFAULT_TECHNOLOGY
+) -> Dict[str, float]:
+    """Load capacitance per line: fanout inputs + wire + output pins."""
+    fanout = circuit.fanout()
+    output_set = set(circuit.outputs)
+    caps: Dict[str, float] = {}
+    for line in circuit.lines:
+        cap = technology.wire_cap
+        cap += len(fanout[line]) * technology.gate_input_cap
+        if line in output_set:
+            cap += technology.output_pin_cap
+        caps[line] = cap
+    return caps
+
+
+@dataclass
+class PowerReport:
+    """Per-line and total dynamic power."""
+
+    #: dynamic power per line, in watts
+    per_line: Dict[str, float]
+    technology: Technology
+
+    @property
+    def total_watts(self) -> float:
+        return float(sum(self.per_line.values()))
+
+    def top_consumers(self, k: int = 10):
+        """The k highest-power lines as (line, watts) pairs."""
+        ranked = sorted(self.per_line.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:k]
+
+
+def power_from_activities(
+    circuit: Circuit,
+    activities: Mapping[str, float],
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    capacitances: Optional[Mapping[str, float]] = None,
+) -> PowerReport:
+    """Aggregate switching activities into dynamic power.
+
+    Parameters
+    ----------
+    activities:
+        Switching activity per line (e.g. from
+        :class:`~repro.core.estimator.SwitchingEstimate`).
+    capacitances:
+        Per-line load caps; defaults to :func:`fanout_capacitances`.
+    """
+    caps = capacitances if capacitances is not None else fanout_capacitances(
+        circuit, technology
+    )
+    factor = 0.5 * technology.vdd ** 2 * technology.clock_hz
+    per_line = {}
+    for line in circuit.lines:
+        if line not in activities:
+            raise KeyError(f"no switching activity for line {line!r}")
+        activity = activities[line]
+        if not 0.0 <= activity <= 1.0 + 1e-9:
+            raise ValueError(f"activity for {line!r} out of range: {activity}")
+        per_line[line] = factor * caps[line] * activity
+    return PowerReport(per_line=per_line, technology=technology)

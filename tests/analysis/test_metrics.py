@@ -1,0 +1,90 @@
+"""Tests for error metrics and table formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import ErrorStats, error_statistics, percent_error_of_means
+from repro.analysis.tables import format_table, rows_from_dicts
+
+
+class TestErrorStatistics:
+    def test_zero_error(self):
+        acts = {"a": 0.5, "b": 0.25}
+        stats = error_statistics(acts, dict(acts))
+        assert stats.mean_abs_error == 0.0
+        assert stats.std_error == 0.0
+        assert stats.percent_error_of_means == 0.0
+        assert stats.n_lines == 2
+
+    def test_known_values(self):
+        est = {"a": 0.6, "b": 0.2}
+        ref = {"a": 0.5, "b": 0.3}
+        stats = error_statistics(est, ref)
+        assert stats.mean_abs_error == pytest.approx(0.1)
+        assert stats.max_abs_error == pytest.approx(0.1)
+        # Errors are +0.1 and -0.1: mean 0, std 0.1.
+        assert stats.std_error == pytest.approx(0.1)
+        assert stats.percent_error_of_means == pytest.approx(0.0)
+
+    def test_percent_error(self):
+        est = {"a": 0.6}
+        ref = {"a": 0.5}
+        assert percent_error_of_means(est, ref) == pytest.approx(20.0)
+
+    def test_zero_reference_mean(self):
+        assert percent_error_of_means({"a": 0.0}, {"a": 0.0}) == 0.0
+        assert percent_error_of_means({"a": 0.1}, {"a": 0.0}) == float("inf")
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(KeyError):
+            error_statistics({"a": 0.5}, {"b": 0.5})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_statistics({}, {})
+
+    def test_as_row(self):
+        stats = error_statistics({"a": 0.5}, {"a": 0.4})
+        row = stats.as_row()
+        assert row["mu_err"] == stats.mean_abs_error
+        assert row["lines"] == 1
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_metric_bounds(self, values):
+        est = {f"l{i}": v for i, v in enumerate(values)}
+        ref = {f"l{i}": 0.5 for i in range(len(values))}
+        stats = error_statistics(est, ref)
+        assert 0.0 <= stats.mean_abs_error <= stats.max_abs_error <= 1.0
+        assert stats.std_error >= 0.0
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[1].startswith("-")
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.startswith("My Table\n========")
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_precision(self):
+        table = format_table(["v"], [[0.123456]], precision=3)
+        assert "0.123" in table
+
+    def test_nan_rendered_as_dash(self):
+        table = format_table(["v"], [[float("nan")]])
+        assert "-" in table.splitlines()[-1]
+
+    def test_rows_from_dicts(self):
+        rows = rows_from_dicts([{"a": 1, "b": 2}, {"a": 3}], ["a", "b"])
+        assert rows == [[1, 2], [3, "-"]]

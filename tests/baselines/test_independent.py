@@ -1,0 +1,103 @@
+"""Tests for independence propagation and transition density."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.independent import (
+    independence_switching,
+    transition_density,
+)
+from repro.circuits import examples, generate
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Gate
+from repro.core import IndependentInputs, TemporalInputs, exact_switching_by_enumeration
+
+
+def tree_circuit():
+    """Fanout-free circuit: independence propagation must be exact."""
+    gates = [
+        Gate("x", GateType.AND, ("a", "b")),
+        Gate("y", GateType.OR, ("c", "d")),
+        Gate("z", GateType.XOR, ("x", "y")),
+    ]
+    return Circuit("tree", ["a", "b", "c", "d"], gates)
+
+
+class TestIndependenceSwitching:
+    def test_exact_on_trees(self):
+        circuit = tree_circuit()
+        model = IndependentInputs(0.3)
+        result = independence_switching(circuit, model)
+        exact = exact_switching_by_enumeration(circuit, model)
+        for line in circuit.lines:
+            assert np.allclose(result.distributions[line], exact[line], atol=1e-12)
+
+    def test_exact_on_trees_with_temporal_inputs(self):
+        circuit = tree_circuit()
+        model = TemporalInputs(p_one=0.4, activity=0.2)
+        result = independence_switching(circuit, model)
+        exact = exact_switching_by_enumeration(circuit, model)
+        for line in circuit.lines:
+            assert np.allclose(result.distributions[line], exact[line], atol=1e-12)
+
+    def test_biased_on_reconvergence(self):
+        """y = AND(a, NOT a) is constant 0 but independence predicts
+        nonzero switching -- the canonical failure."""
+        circuit = examples.reconvergent_circuit()
+        result = independence_switching(circuit)
+        assert result.switching("y") > 0.1
+
+    def test_c17_output_error_sign(self):
+        circuit = examples.c17()
+        result = independence_switching(circuit)
+        exact = exact_switching_by_enumeration(circuit)
+        # Line 22 is downstream of reconvergent fanout: must deviate.
+        exact_sw = exact["22"][1] + exact["22"][2]
+        assert result.switching("22") != pytest.approx(exact_sw, abs=1e-6)
+
+    def test_distributions_normalized(self):
+        result = independence_switching(generate.random_layered_circuit(6, 30, seed=0))
+        for dist in result.distributions.values():
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_mean_activity(self):
+        result = independence_switching(examples.c17())
+        assert 0.0 < result.mean_activity() < 1.0
+
+
+class TestTransitionDensity:
+    def test_input_densities(self):
+        result = transition_density(examples.c17(), IndependentInputs(0.5))
+        for name in ("1", "2", "3", "6", "7"):
+            assert result.density(name) == pytest.approx(0.5)
+
+    def test_xor_density_is_sum(self):
+        circuit = Circuit(
+            "x", ["a", "b"], [Gate("y", GateType.XOR, ("a", "b"))]
+        )
+        result = transition_density(circuit)
+        # XOR passes every toggle: D(y) = D(a) + D(b) = 1.0.
+        assert result.density("y") == pytest.approx(1.0)
+
+    def test_and_density_weighted_by_side_probability(self):
+        circuit = Circuit(
+            "a", ["a", "b"], [Gate("y", GateType.AND, ("a", "b"))]
+        )
+        result = transition_density(circuit, IndependentInputs({"a": 0.5, "b": 0.5}))
+        # D(y) = p_b D(a) + p_a D(b) = 0.5*0.5 + 0.5*0.5.
+        assert result.density("y") == pytest.approx(0.5)
+
+    def test_density_overestimates_on_xor_tree(self):
+        """Densities double count simultaneous toggles: on a parity tree
+        the density exceeds the true switching activity."""
+        circuit = generate.parity_tree(8)
+        result = transition_density(circuit)
+        assert result.density("parity") > 1.0  # true activity is 0.5
+
+    def test_signal_probabilities_reported(self):
+        result = transition_density(examples.c17())
+        assert result.signal_probabilities["10"] == pytest.approx(0.75)
+
+    def test_mean_density(self):
+        result = transition_density(examples.c17())
+        assert result.mean_density() > 0

@@ -1,0 +1,76 @@
+"""Tests for depth-bounded local-cone propagation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.local import local_cone_switching
+from repro.circuits import examples, generate
+from repro.core import IndependentInputs, exact_switching_by_enumeration
+
+
+class TestLocalCone:
+    def test_exact_when_cone_covers_circuit(self):
+        circuit = examples.c17()
+        result = local_cone_switching(circuit, depth=10, max_cut_inputs=8)
+        exact = exact_switching_by_enumeration(circuit)
+        for line in circuit.lines:
+            assert np.allclose(result.distributions[line], exact[line], atol=1e-10)
+
+    def test_depth_one_equals_independence(self):
+        from repro.baselines.independent import independence_switching
+
+        circuit = examples.c17()
+        cone = local_cone_switching(circuit, depth=1)
+        indep = independence_switching(circuit)
+        for line in circuit.lines:
+            assert np.allclose(
+                cone.distributions[line], indep.distributions[line], atol=1e-10
+            )
+
+    def test_accuracy_improves_with_depth(self):
+        circuit = generate.random_layered_circuit(7, 30, seed=9)
+        exact = exact_switching_by_enumeration(circuit)
+
+        def mean_error(depth):
+            result = local_cone_switching(circuit, depth=depth, max_cut_inputs=7)
+            return np.mean(
+                [
+                    abs(result.switching(l) - (exact[l][1] + exact[l][2]))
+                    for l in circuit.lines
+                ]
+            )
+
+        assert mean_error(4) <= mean_error(1) + 1e-12
+
+    def test_reconvergence_within_depth_captured(self):
+        circuit = examples.reconvergent_circuit()
+        result = local_cone_switching(circuit, depth=2)
+        assert result.switching("y") == pytest.approx(0.0, abs=1e-12)
+
+    def test_cut_budget_shrinks_depth(self):
+        circuit = generate.random_layered_circuit(10, 40, seed=3)
+        result = local_cone_switching(circuit, depth=5, max_cut_inputs=3)
+        assert max(result.depths.values()) <= 5
+        # With such a tight budget some line must have been shrunk.
+        internal_depths = [
+            result.depths[l] for l in circuit.internal_lines
+        ]
+        assert min(internal_depths) < 5
+
+    def test_input_model_respected(self):
+        circuit = examples.c17()
+        model = IndependentInputs(0.2)
+        result = local_cone_switching(circuit, depth=10, max_cut_inputs=8, input_model=model)
+        exact = exact_switching_by_enumeration(circuit, model)
+        for line in circuit.lines:
+            assert np.allclose(result.distributions[line], exact[line], atol=1e-10)
+
+    def test_distributions_normalized(self):
+        circuit = generate.random_layered_circuit(6, 25, seed=1)
+        result = local_cone_switching(circuit, depth=2)
+        for dist in result.distributions.values():
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_mean_activity(self):
+        result = local_cone_switching(examples.c17(), depth=2)
+        assert 0.0 < result.mean_activity() < 1.0

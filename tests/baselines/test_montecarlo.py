@@ -1,0 +1,53 @@
+"""Tests for adaptive Monte-Carlo estimation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.montecarlo import monte_carlo_switching
+from repro.circuits import examples
+from repro.core import exact_switching_by_enumeration
+
+
+class TestMonteCarlo:
+    def test_converges_near_exact(self):
+        circuit = examples.c17()
+        exact = exact_switching_by_enumeration(circuit)
+        result = monte_carlo_switching(
+            circuit, relative_error=0.02, rng=np.random.default_rng(0)
+        )
+        assert result.converged
+        for line in circuit.lines:
+            exact_sw = exact[line][1] + exact[line][2]
+            assert result.switching(line) == pytest.approx(exact_sw, abs=0.03)
+
+    def test_tighter_tolerance_needs_more_samples(self):
+        circuit = examples.c17()
+        loose = monte_carlo_switching(
+            circuit, relative_error=0.05, rng=np.random.default_rng(1)
+        )
+        tight = monte_carlo_switching(
+            circuit, relative_error=0.005, rng=np.random.default_rng(1)
+        )
+        assert tight.n_pairs >= loose.n_pairs
+
+    def test_budget_cap(self):
+        circuit = examples.c17()
+        result = monte_carlo_switching(
+            circuit,
+            relative_error=1e-9,
+            max_pairs=20_000,
+            rng=np.random.default_rng(2),
+        )
+        assert not result.converged
+        assert result.n_pairs <= 20_000 + 4_096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monte_carlo_switching(examples.c17(), relative_error=0)
+
+    def test_half_width_reported(self):
+        result = monte_carlo_switching(
+            examples.c17(), relative_error=0.05, rng=np.random.default_rng(3)
+        )
+        assert result.half_width < float("inf")
+        assert result.mean_activity() > 0

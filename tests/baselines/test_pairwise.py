@@ -1,0 +1,98 @@
+"""Tests for pairwise correlation-coefficient propagation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pairwise import pairwise_switching
+from repro.bdd import exact_signal_probabilities
+from repro.circuits import examples, generate
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Gate
+from repro.core import IndependentInputs
+
+
+class TestPairwiseSwitching:
+    def test_exact_on_simple_reconvergence(self):
+        """y = AND(a, NOT a): pairwise correlation captures a two-line
+        dependency exactly, so p_y = 0."""
+        circuit = examples.reconvergent_circuit()
+        result = pairwise_switching(circuit)
+        assert result.signal_probabilities["y"] == pytest.approx(0.0, abs=1e-9)
+        assert result.switching("y") == pytest.approx(0.0, abs=1e-9)
+
+    def test_or_of_same_line(self):
+        circuit = Circuit(
+            "idem", ["a"],
+            [Gate("n", GateType.BUF, ("a",)), Gate("y", GateType.OR, ("a", "n"))],
+        )
+        result = pairwise_switching(circuit, IndependentInputs(0.3))
+        assert result.signal_probabilities["y"] == pytest.approx(0.3, abs=1e-9)
+
+    def test_better_than_independence_on_c17(self):
+        circuit = examples.c17()
+        exact_p = exact_signal_probabilities(circuit)
+        result = pairwise_switching(circuit)
+        for line in circuit.lines:
+            assert result.signal_probabilities[line] == pytest.approx(
+                exact_p[line], abs=0.02
+            )
+
+    def test_exact_on_trees(self):
+        gates = [
+            Gate("x", GateType.NAND, ("a", "b")),
+            Gate("y", GateType.NOR, ("c", "d")),
+            Gate("z", GateType.XNOR, ("x", "y")),
+        ]
+        circuit = Circuit("tree", ["a", "b", "c", "d"], gates)
+        model = IndependentInputs(0.35)
+        exact_p = exact_signal_probabilities(
+            circuit, {n: 0.35 for n in circuit.inputs}
+        )
+        result = pairwise_switching(circuit, model)
+        for line in circuit.lines:
+            assert result.signal_probabilities[line] == pytest.approx(
+                exact_p[line], abs=1e-9
+            )
+
+    def test_probabilities_in_range(self):
+        circuit = generate.random_layered_circuit(10, 80, seed=11)
+        result = pairwise_switching(circuit)
+        for p in result.signal_probabilities.values():
+            assert 0.0 <= p <= 1.0
+        for a in result.activities.values():
+            assert 0.0 <= a <= 0.5 + 1e-12
+
+    def test_closer_than_independence_on_average(self):
+        """Aggregate sanity: pairwise should beat plain independence on
+        reconvergent random circuits."""
+        from repro.baselines.independent import transition_density
+
+        total_pairwise, total_indep = 0.0, 0.0
+        for seed in (1, 2, 3):
+            circuit = generate.random_layered_circuit(8, 35, seed=seed)
+            exact_p = exact_signal_probabilities(circuit)
+            pw = pairwise_switching(circuit).signal_probabilities
+            td = transition_density(circuit).signal_probabilities
+            for line in circuit.lines:
+                total_pairwise += abs(pw[line] - exact_p[line])
+                total_indep += abs(td[line] - exact_p[line])
+        assert total_pairwise < total_indep
+
+    def test_mean_activity(self):
+        result = pairwise_switching(examples.c17())
+        assert 0.0 < result.mean_activity() <= 0.5
+
+    def test_all_gate_types_covered(self):
+        gates = [
+            Gate("g_and", GateType.AND, ("a", "b")),
+            Gate("g_or", GateType.OR, ("a", "c")),
+            Gate("g_nand", GateType.NAND, ("b", "c")),
+            Gate("g_nor", GateType.NOR, ("g_and", "g_or")),
+            Gate("g_xor", GateType.XOR, ("g_nand", "a")),
+            Gate("g_xnor", GateType.XNOR, ("g_xor", "b")),
+            Gate("g_not", GateType.NOT, ("g_xnor",)),
+            Gate("g_buf", GateType.BUF, ("g_not",)),
+        ]
+        circuit = Circuit("all", ["a", "b", "c"], gates)
+        result = pairwise_switching(circuit)
+        assert set(result.signal_probabilities) == set(circuit.lines)

@@ -1,0 +1,73 @@
+"""Tests for tabular CPDs."""
+
+import numpy as np
+import pytest
+
+from repro.bayesian.cpd import TabularCPD
+
+
+class TestConstruction:
+    def test_prior(self):
+        cpd = TabularCPD.prior("a", [0.2, 0.8])
+        assert cpd.parents == ()
+        assert cpd.cardinality == 2
+        assert cpd.probability(1, {}) == 0.8
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TabularCPD("a", 2, np.array([0.5, 0.6]))
+
+    def test_conditional_rows_checked(self):
+        bad = np.array([[0.5, 0.5], [0.7, 0.7]])
+        with pytest.raises(ValueError, match="sum to 1"):
+            TabularCPD("a", 2, bad, ["p"])
+
+    def test_shape_must_match_parents(self):
+        with pytest.raises(ValueError, match="axes"):
+            TabularCPD("a", 2, np.array([0.5, 0.5]), ["p"])
+
+    def test_cardinality_must_match_last_axis(self):
+        with pytest.raises(ValueError, match="last axis"):
+            TabularCPD("a", 3, np.array([0.5, 0.5]))
+
+
+class TestDeterministic:
+    def test_xor_like_function(self):
+        cpd = TabularCPD.deterministic(
+            "y", 2, ["a", "b"], [2, 2], lambda a, b: a ^ b
+        )
+        assert cpd.is_deterministic()
+        assert cpd.probability(1, {"a": 1, "b": 0}) == 1.0
+        assert cpd.probability(1, {"a": 1, "b": 1}) == 0.0
+
+    def test_no_parents(self):
+        cpd = TabularCPD.deterministic("y", 3, [], [], lambda: 2)
+        assert cpd.probability(2, {}) == 1.0
+
+    def test_function_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            TabularCPD.deterministic("y", 2, ["a"], [2], lambda a: a + 5)
+
+    def test_mixed_cardinalities(self):
+        cpd = TabularCPD.deterministic(
+            "y", 4, ["a", "b"], [2, 3], lambda a, b: min(a + b, 3)
+        )
+        assert cpd.probability(3, {"a": 1, "b": 2}) == 1.0
+        assert cpd.probability(0, {"a": 0, "b": 0}) == 1.0
+
+
+class TestQueries:
+    def test_to_factor_axis_order(self):
+        table = np.array([[0.1, 0.9], [0.4, 0.6]])
+        cpd = TabularCPD("y", 2, table, ["x"])
+        factor = cpd.to_factor()
+        assert factor.variables == ("x", "y")
+        assert factor.probability({"x": 1, "y": 0}) == 0.4
+
+    def test_is_deterministic_false_for_soft(self):
+        cpd = TabularCPD.prior("a", [0.2, 0.8])
+        assert not cpd.is_deterministic()
+
+    def test_repr(self):
+        cpd = TabularCPD("y", 2, np.array([[0.1, 0.9], [0.4, 0.6]]), ["x"])
+        assert "y" in repr(cpd) and "x" in repr(cpd)

@@ -1,0 +1,121 @@
+"""Tests for d-separation, checked against enumerated independence."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.bayesian.dsep import (
+    all_d_separations,
+    ancestral_subgraph,
+    d_separated,
+    moralize_graph,
+)
+
+from tests.bayesian.util import random_bn, sprinkler_bn
+
+
+def chain():
+    g = nx.DiGraph()
+    g.add_edges_from([("a", "b"), ("b", "c")])
+    return g
+
+
+def collider():
+    g = nx.DiGraph()
+    g.add_edges_from([("a", "c"), ("b", "c"), ("c", "d")])
+    return g
+
+
+class TestBasicPatterns:
+    def test_chain_blocked_by_middle(self):
+        g = chain()
+        assert not d_separated(g, {"a"}, {"c"})
+        assert d_separated(g, {"a"}, {"c"}, {"b"})
+
+    def test_fork(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("b", "a"), ("b", "c")])
+        assert not d_separated(g, {"a"}, {"c"})
+        assert d_separated(g, {"a"}, {"c"}, {"b"})
+
+    def test_collider_marginally_blocked(self):
+        g = collider()
+        assert d_separated(g, {"a"}, {"b"})
+
+    def test_collider_opened_by_conditioning(self):
+        g = collider()
+        assert not d_separated(g, {"a"}, {"b"}, {"c"})
+
+    def test_collider_opened_by_descendant(self):
+        g = collider()
+        assert not d_separated(g, {"a"}, {"b"}, {"d"})
+
+    def test_sprinkler_pattern(self):
+        dag = sprinkler_bn().to_digraph()
+        # sprinkler and rain are dependent through cloudy...
+        assert not d_separated(dag, {"sprinkler"}, {"rain"})
+        # ...independent given cloudy...
+        assert d_separated(dag, {"sprinkler"}, {"rain"}, {"cloudy"})
+        # ...and dependent again when also conditioning on wet (collider).
+        assert not d_separated(dag, {"sprinkler"}, {"rain"}, {"cloudy", "wet"})
+
+
+class TestValidation:
+    def test_overlapping_sets_rejected(self):
+        g = chain()
+        with pytest.raises(ValueError, match="disjoint"):
+            d_separated(g, {"a"}, {"a"})
+
+    def test_unknown_node_rejected(self):
+        g = chain()
+        with pytest.raises(ValueError, match="unknown"):
+            d_separated(g, {"a"}, {"zzz"})
+
+    def test_empty_set_trivially_separated(self):
+        assert d_separated(chain(), set(), {"a"})
+
+
+class TestHelpers:
+    def test_ancestral_subgraph(self):
+        g = collider()
+        sub = ancestral_subgraph(g, {"c"})
+        assert set(sub.nodes) == {"a", "b", "c"}
+
+    def test_moralize_marries_parents(self):
+        g = collider()
+        moral = moralize_graph(g)
+        assert moral.has_edge("a", "b")
+        assert moral.has_edge("c", "d")
+
+
+class TestSoundnessAgainstEnumeration:
+    """Every d-separation must be a true independence in the joint
+    distribution (the I-map property).  We verify on random networks by
+    enumerating the joint."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dsep_implies_independence(self, seed):
+        bn = random_bn(5, seed=seed, max_parents=2)
+        joint = bn.joint_factor()
+        dag = bn.to_digraph()
+        for x, y, z in all_d_separations(dag, max_conditioning=2):
+            assert _independent_in_joint(joint, x, y, sorted(z)), (
+                f"d-sep claims {x} ⟂ {y} | {sorted(z)} but the joint disagrees"
+            )
+
+
+def _independent_in_joint(joint, x, y, z, atol=1e-9):
+    """Brute-force conditional-independence check in an enumerated joint."""
+    pxyz = joint.marginal_onto([x, y] + z).permute([x, y] + z)
+    for z_states in itertools.product(*(range(pxyz.cardinality(v)) for v in z)):
+        sub = pxyz.values[(slice(None), slice(None)) + z_states]
+        total = sub.sum()
+        if total < atol:
+            continue
+        cond = sub / total
+        outer = cond.sum(axis=1)[:, None] * cond.sum(axis=0)[None, :]
+        if not np.allclose(cond, outer, atol=1e-8):
+            return False
+    return True

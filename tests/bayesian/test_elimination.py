@@ -1,0 +1,93 @@
+"""Tests for the variable-elimination engine."""
+
+import numpy as np
+import pytest
+
+from repro.bayesian import variable_elimination
+from repro.bayesian.elimination import posterior_marginals
+
+from tests.bayesian.util import random_bn, sprinkler_bn
+
+
+class TestBasic:
+    def test_root_marginal(self):
+        bn = sprinkler_bn()
+        result = variable_elimination(bn, ["cloudy"])
+        assert result.values == pytest.approx([0.5, 0.5])
+
+    def test_leaf_marginal_matches_brute_force(self):
+        bn = sprinkler_bn()
+        result = variable_elimination(bn, ["wet"])
+        expected = bn.brute_force_marginal("wet")
+        assert np.allclose(result.values, expected)
+
+    def test_joint_target(self):
+        bn = sprinkler_bn()
+        result = variable_elimination(bn, ["sprinkler", "rain"])
+        expected = bn.joint_factor().marginal_onto(["sprinkler", "rain"]).normalize()
+        assert result.allclose(expected)
+        assert result.variables == ("sprinkler", "rain")
+
+    def test_target_order_respected(self):
+        bn = sprinkler_bn()
+        ab = variable_elimination(bn, ["sprinkler", "rain"])
+        ba = variable_elimination(bn, ["rain", "sprinkler"])
+        assert ab.permute(("rain", "sprinkler")).allclose(ba)
+
+
+class TestEvidence:
+    def test_posterior(self):
+        bn = sprinkler_bn()
+        result = variable_elimination(bn, ["rain"], {"wet": 1})
+        expected = bn.brute_force_marginal("rain", {"wet": 1})
+        assert np.allclose(result.values, expected)
+
+    def test_evidence_on_root(self):
+        bn = sprinkler_bn()
+        result = variable_elimination(bn, ["wet"], {"cloudy": 1})
+        expected = bn.brute_force_marginal("wet", {"cloudy": 1})
+        assert np.allclose(result.values, expected)
+
+
+class TestValidation:
+    def test_no_targets(self):
+        with pytest.raises(ValueError):
+            variable_elimination(sprinkler_bn(), [])
+
+    def test_observed_target(self):
+        with pytest.raises(ValueError, match="observed"):
+            variable_elimination(sprinkler_bn(), ["wet"], {"wet": 1})
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            variable_elimination(sprinkler_bn(), ["nope"])
+
+    def test_explicit_order_must_cover(self):
+        bn = sprinkler_bn()
+        with pytest.raises(ValueError, match="cover"):
+            variable_elimination(bn, ["wet"], elimination_order=["cloudy"])
+
+    def test_explicit_order_works(self):
+        bn = sprinkler_bn()
+        result = variable_elimination(
+            bn, ["wet"], elimination_order=["rain", "sprinkler", "cloudy"]
+        )
+        expected = bn.brute_force_marginal("wet")
+        assert np.allclose(result.values, expected)
+
+
+class TestRandomCrossChecks:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        bn = random_bn(7, seed=seed, max_parents=3)
+        for node in bn.nodes:
+            result = variable_elimination(bn, [node])
+            expected = bn.brute_force_marginal(node)
+            assert np.allclose(result.values, expected, atol=1e-10)
+
+    def test_posterior_marginals_helper(self):
+        bn = sprinkler_bn()
+        marginals = posterior_marginals(bn, evidence={"wet": 1})
+        assert set(marginals) == {"cloudy", "sprinkler", "rain"}
+        expected = bn.brute_force_marginal("rain", {"wet": 1})
+        assert np.allclose(marginals["rain"].values, expected)

@@ -1,0 +1,240 @@
+"""Unit and property tests for the discrete factor algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesian.factor import Factor, factor_product
+
+
+def small_factor(variables, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = tuple(2 + (i % 2) for i in range(len(variables)))
+    return Factor(variables, rng.random(shape) + 0.05)
+
+
+@st.composite
+def factors(draw, var_pool=("a", "b", "c", "d")):
+    n = draw(st.integers(0, len(var_pool)))
+    variables = draw(
+        st.lists(st.sampled_from(var_pool), min_size=n, max_size=n, unique=True)
+    )
+    cards = {"a": 2, "b": 3, "c": 2, "d": 2}
+    shape = tuple(cards[v] for v in variables)
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return Factor(variables, rng.random(shape) + 0.01)
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            Factor(("a", "b"), np.ones(4))
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Factor(("a", "a"), np.ones((2, 2)))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Factor(("a",), np.array([0.5, -0.1]))
+
+    def test_unit_factor(self):
+        unit = Factor.unit()
+        assert unit.variables == ()
+        assert unit.total() == 1.0
+
+    def test_uniform(self):
+        f = Factor.uniform(("a", "b"), (2, 3))
+        assert f.values.shape == (2, 3)
+        assert f.total() == 6.0
+
+    def test_indicator(self):
+        f = Factor.indicator("a", 4, 2)
+        assert list(f.values) == [0, 0, 1, 0]
+
+    def test_indicator_out_of_range(self):
+        with pytest.raises(ValueError):
+            Factor.indicator("a", 4, 4)
+
+    def test_from_distribution(self):
+        f = Factor.from_distribution("a", [0.25, 0.75])
+        assert f.probability({"a": 1}) == 0.75
+
+    def test_cardinality_queries(self):
+        f = Factor(("a", "b"), np.ones((2, 3)))
+        assert f.cardinality("b") == 3
+        assert f.cardinalities == {"a": 2, "b": 3}
+        assert f.size == 6
+        assert "a" in f and "z" not in f
+
+
+class TestProduct:
+    def test_disjoint_scopes(self):
+        fa = Factor.from_distribution("a", [0.3, 0.7])
+        fb = Factor.from_distribution("b", [0.4, 0.6])
+        prod = fa.product(fb)
+        assert prod.probability({"a": 1, "b": 0}) == pytest.approx(0.7 * 0.4)
+
+    def test_shared_scope(self):
+        fa = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        fb = Factor(("b",), np.array([10.0, 100.0]))
+        prod = fa.product(fb)
+        assert prod.probability({"a": 1, "b": 1}) == 400.0
+
+    def test_product_with_unit_is_identity(self):
+        f = small_factor(("a", "b"))
+        prod = f.product(Factor.unit())
+        assert prod.allclose(f)
+
+    @given(factors(), factors())
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, f, g):
+        assert f.product(g).allclose(g.product(f))
+
+    @given(factors(), factors(), factors())
+    @settings(max_examples=30, deadline=None)
+    def test_associative(self, f, g, h):
+        lhs = f.product(g).product(h)
+        rhs = f.product(g.product(h))
+        assert lhs.allclose(rhs, atol=1e-9)
+
+    def test_scalar_multiplication(self):
+        f = Factor.from_distribution("a", [0.5, 0.5])
+        doubled = 2 * f
+        assert doubled.total() == pytest.approx(2.0)
+
+
+class TestMarginalize:
+    def test_sum_out(self):
+        f = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        m = f.marginalize(["b"])
+        assert m.variables == ("a",)
+        assert list(m.values) == [3.0, 7.0]
+
+    def test_marginal_onto(self):
+        f = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        m = f.marginal_onto(["b"])
+        assert m.variables == ("b",)
+        assert list(m.values) == [4.0, 6.0]
+
+    def test_absent_variable_raises(self):
+        f = small_factor(("a",))
+        with pytest.raises(KeyError):
+            f.marginalize(["z"])
+        with pytest.raises(KeyError):
+            f.marginal_onto(["z"])
+
+    @given(factors())
+    @settings(max_examples=50, deadline=None)
+    def test_total_preserved(self, f):
+        if not f.variables:
+            return
+        m = f.marginalize([f.variables[0]])
+        assert m.total() == pytest.approx(f.total())
+
+    @given(factors(), factors())
+    @settings(max_examples=40, deadline=None)
+    def test_distributes_over_product(self, f, g):
+        # sum_x (f * g) == f * sum_x g  when x only appears in g.
+        only_g = [v for v in g.variables if v not in f.variables]
+        if not only_g:
+            return
+        x = only_g[0]
+        lhs = f.product(g).marginalize([x])
+        rhs = f.product(g.marginalize([x]))
+        assert lhs.allclose(rhs, atol=1e-9)
+
+
+class TestDivide:
+    def test_elementwise(self):
+        f = Factor(("a",), np.array([2.0, 9.0]))
+        g = Factor(("a",), np.array([2.0, 3.0]))
+        assert list(f.divide(g).values) == [1.0, 3.0]
+
+    def test_zero_over_zero_is_zero(self):
+        f = Factor(("a",), np.array([0.0, 4.0]))
+        g = Factor(("a",), np.array([0.0, 2.0]))
+        assert list(f.divide(g).values) == [0.0, 2.0]
+
+    def test_nonzero_over_zero_raises(self):
+        f = Factor(("a",), np.array([1.0, 4.0]))
+        g = Factor(("a",), np.array([0.0, 2.0]))
+        with pytest.raises(ZeroDivisionError):
+            f.divide(g)
+
+    @given(factors())
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_then_divide_roundtrips(self, f):
+        if not f.variables:
+            return
+        rng = np.random.default_rng(1)
+        g = Factor(f.variables, rng.random(f.values.shape) + 0.01)
+        # (f * g) / g == f on g's support (strictly positive here).
+        assert f.product(g).divide(g).allclose(f, atol=1e-9)
+
+
+class TestReduce:
+    def test_reduce_removes_variable(self):
+        f = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        r = f.reduce({"a": 1})
+        assert r.variables == ("b",)
+        assert list(r.values) == [3.0, 4.0]
+
+    def test_reduce_multiple(self):
+        f = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        r = f.reduce({"a": 0, "b": 1})
+        assert r.variables == ()
+        assert float(r.values) == 2.0
+
+    def test_reduce_out_of_range(self):
+        f = small_factor(("a",))
+        with pytest.raises(ValueError):
+            f.reduce({"a": 99})
+
+    def test_reduce_ignores_foreign_variables(self):
+        f = small_factor(("a",))
+        r = f.reduce({"z": 0})
+        assert r.allclose(f)
+
+
+class TestNormalizePermute:
+    def test_normalize(self):
+        f = Factor(("a",), np.array([1.0, 3.0]))
+        n = f.normalize()
+        assert list(n.values) == [0.25, 0.75]
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Factor(("a",), np.zeros(2)).normalize()
+
+    def test_permute(self):
+        f = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        p = f.permute(("b", "a"))
+        assert p.variables == ("b", "a")
+        assert p.probability({"a": 1, "b": 0}) == f.probability({"a": 1, "b": 0})
+
+    def test_permute_invalid(self):
+        f = small_factor(("a", "b"))
+        with pytest.raises(ValueError):
+            f.permute(("a", "z"))
+
+    @given(factors())
+    @settings(max_examples=30, deadline=None)
+    def test_permute_roundtrip(self, f):
+        if len(f.variables) < 2:
+            return
+        reversed_order = tuple(reversed(f.variables))
+        assert f.permute(reversed_order).permute(f.variables).allclose(f)
+
+
+class TestFactorProduct:
+    def test_empty_product_is_unit(self):
+        assert factor_product([]).total() == 1.0
+
+    def test_chain(self):
+        fs = [Factor.from_distribution(v, [0.5, 0.5]) for v in "abc"]
+        prod = factor_product(fs)
+        assert prod.size == 8
+        assert prod.total() == pytest.approx(1.0)

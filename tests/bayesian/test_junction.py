@@ -1,0 +1,250 @@
+"""Tests for junction-tree construction and message passing.
+
+The junction tree is cross-checked against two independent exact
+engines: variable elimination and brute-force joint enumeration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesian import (
+    BayesianNetwork,
+    JunctionTree,
+    TabularCPD,
+    variable_elimination,
+)
+from repro.bayesian.junction import JunctionTreeError
+
+from tests.bayesian.util import random_bn, sprinkler_bn
+
+
+class TestStructure:
+    def test_running_intersection(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        assert jt.check_running_intersection()
+
+    def test_every_family_covered(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        for node in bn.nodes:
+            family = set(bn.parents(node)) | {node}
+            assert any(family <= c for c in jt.cliques)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500))
+    def test_random_networks_structural_invariants(self, seed):
+        bn = random_bn(10, seed=seed, max_parents=3)
+        jt = JunctionTree.from_network(bn)
+        assert jt.check_running_intersection()
+        # Tree: |E| = |V| - #components.
+        import networkx as nx
+
+        n_components = nx.number_connected_components(jt.tree)
+        assert jt.tree.number_of_edges() == jt.tree.number_of_nodes() - n_components
+
+    def test_stats(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        stats = jt.stats()
+        assert stats["cliques"] >= 1
+        assert stats["max_clique_states"] >= 4
+
+    def test_disconnected_network(self):
+        bn = BayesianNetwork("disc")
+        bn.add_cpd(TabularCPD.prior("a", [0.3, 0.7]))
+        bn.add_cpd(TabularCPD.prior("b", [0.6, 0.4]))
+        jt = JunctionTree.from_network(bn)
+        jt.calibrate()
+        assert jt.marginal("a") == pytest.approx([0.3, 0.7])
+        assert jt.marginal("b") == pytest.approx([0.6, 0.4])
+
+
+class TestMarginals:
+    def test_sprinkler_prior_marginals(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        jt.calibrate()
+        for node in bn.nodes:
+            expected = bn.brute_force_marginal(node)
+            assert jt.marginal(node) == pytest.approx(list(expected), abs=1e-10)
+
+    def test_marginal_autocalibrates(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        # No explicit calibrate() call.
+        assert jt.marginal("cloudy") == pytest.approx([0.5, 0.5])
+
+    def test_unknown_variable(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        with pytest.raises(KeyError):
+            jt.marginal("nope")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 300))
+    def test_matches_variable_elimination(self, seed):
+        bn = random_bn(9, seed=seed, max_parents=3)
+        jt = JunctionTree.from_network(bn)
+        jt.calibrate()
+        assert jt.check_calibration()
+        for node in bn.nodes:
+            expected = variable_elimination(bn, [node]).values
+            assert np.allclose(jt.marginal(node), expected, atol=1e-10)
+
+    def test_three_state_variables(self):
+        bn = BayesianNetwork("ternary")
+        bn.add_cpd(TabularCPD.prior("a", [0.2, 0.3, 0.5]))
+        table = np.array([[0.1, 0.9], [0.5, 0.5], [0.8, 0.2]])
+        bn.add_cpd(TabularCPD("b", 2, table, ["a"]))
+        jt = JunctionTree.from_network(bn)
+        expected = bn.brute_force_marginal("b")
+        assert jt.marginal("b") == pytest.approx(list(expected))
+
+
+class TestEvidence:
+    def test_posterior_under_evidence(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"wet": 1})
+        jt.calibrate()
+        expected = bn.brute_force_marginal("rain", {"wet": 1})
+        assert jt.marginal("rain") == pytest.approx(list(expected), abs=1e-10)
+
+    def test_probability_of_evidence(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"wet": 1})
+        joint = bn.joint_factor()
+        expected = joint.marginal_onto(["wet"]).values[1]
+        assert jt.probability_of_evidence() == pytest.approx(float(expected))
+
+    def test_no_evidence_mass_is_one(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        assert jt.probability_of_evidence() == pytest.approx(1.0)
+
+    def test_clear_evidence(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        jt.set_evidence({"wet": 1})
+        jt.calibrate()
+        posterior = jt.marginal("rain")
+        jt.clear_evidence()
+        jt.calibrate()
+        assert jt.marginal("rain") == pytest.approx([0.5, 0.5])
+        assert not np.allclose(posterior, [0.5, 0.5])
+
+    def test_invalid_evidence(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        with pytest.raises(KeyError):
+            jt.set_evidence({"nope": 0})
+        with pytest.raises(ValueError):
+            jt.set_evidence({"wet": 7})
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 200))
+    def test_evidence_matches_ve_on_random_networks(self, seed):
+        bn = random_bn(8, seed=seed, max_parents=2)
+        jt = JunctionTree.from_network(bn)
+        evidence = {"v2": 1, "v5": 0}
+        jt.set_evidence(evidence)
+        jt.calibrate()
+        for node in ("v0", "v7"):
+            expected = variable_elimination(bn, [node], evidence).values
+            assert np.allclose(jt.marginal(node), expected, atol=1e-9)
+
+
+class TestJointMarginal:
+    def test_in_clique_joint(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        joint = jt.joint_marginal(["sprinkler", "rain"])
+        expected = bn.joint_factor().marginal_onto(["sprinkler", "rain"])
+        assert joint.allclose(expected.normalize(), atol=1e-10)
+
+    def test_out_of_clique_raises(self):
+        # cloudy and wet are never in a common clique for this topology
+        # under min-fill; if they happen to be, skip.
+        jt = JunctionTree.from_network(sprinkler_bn())
+        if any({"cloudy", "wet"} <= c for c in jt.cliques):
+            pytest.skip("triangulation put them together")
+        with pytest.raises(JunctionTreeError):
+            jt.joint_marginal(["cloudy", "wet"])
+
+
+class TestUpdateCpds:
+    def test_fast_repropagation_matches_recompile(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        jt.calibrate()
+        new_prior = TabularCPD.prior("cloudy", [0.9, 0.1])
+        jt.update_cpds([new_prior])
+        jt.calibrate()
+
+        bn2 = sprinkler_bn()
+        bn2._cpds["cloudy"] = new_prior
+        expected = bn2.brute_force_marginal("wet")
+        assert jt.marginal("wet") == pytest.approx(list(expected), abs=1e-10)
+
+    def test_structure_change_rejected(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        bad = TabularCPD("cloudy", 2, np.full((2, 2), 0.5), ["rain"])
+        with pytest.raises(ValueError, match="parents"):
+            jt.update_cpds([bad])
+
+    def test_cardinality_change_rejected(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        bad = TabularCPD.prior("cloudy", [0.2, 0.3, 0.5])
+        with pytest.raises(ValueError, match="cardinality"):
+            jt.update_cpds([bad])
+
+    def test_unknown_node_rejected(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        with pytest.raises(KeyError):
+            jt.update_cpds([TabularCPD.prior("ghost", [0.5, 0.5])])
+
+    def test_evidence_survives_cpd_update(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"wet": 1})
+        jt.update_cpds([TabularCPD.prior("cloudy", [0.9, 0.1])])
+        jt.calibrate()
+        bn2 = sprinkler_bn()
+        bn2._cpds["cloudy"] = TabularCPD.prior("cloudy", [0.9, 0.1])
+        expected = bn2.brute_force_marginal("rain", {"wet": 1})
+        assert jt.marginal("rain") == pytest.approx(list(expected), abs=1e-10)
+
+
+class TestDeterministicCpds:
+    """Zero-probability entries (deterministic gates) stress the 0/0
+    division convention in Hugin updates."""
+
+    def test_deterministic_chain(self):
+        bn = BayesianNetwork("det")
+        bn.add_cpd(TabularCPD.prior("a", [0.25, 0.75]))
+        bn.add_cpd(
+            TabularCPD.deterministic("b", 2, ["a"], [2], lambda a: 1 - a)
+        )
+        bn.add_cpd(
+            TabularCPD.deterministic("c", 2, ["b"], [2], lambda b: b)
+        )
+        jt = JunctionTree.from_network(bn)
+        assert jt.marginal("c") == pytest.approx([0.75, 0.25])
+
+    def test_deterministic_xor_tree(self):
+        bn = BayesianNetwork("xor")
+        bn.add_cpd(TabularCPD.prior("a", [0.5, 0.5]))
+        bn.add_cpd(TabularCPD.prior("b", [0.3, 0.7]))
+        bn.add_cpd(
+            TabularCPD.deterministic("y", 2, ["a", "b"], [2, 2], lambda a, b: a ^ b)
+        )
+        jt = JunctionTree.from_network(bn)
+        expected = 0.5 * 0.7 + 0.5 * 0.3
+        assert jt.marginal("y")[1] == pytest.approx(expected)
+
+    def test_evidence_on_deterministic_output(self):
+        bn = BayesianNetwork("det-ev")
+        bn.add_cpd(TabularCPD.prior("a", [0.5, 0.5]))
+        bn.add_cpd(
+            TabularCPD.deterministic("y", 2, ["a"], [2], lambda a: a)
+        )
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"y": 1})
+        assert jt.marginal("a") == pytest.approx([0.0, 1.0])

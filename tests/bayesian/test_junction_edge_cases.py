@@ -1,0 +1,89 @@
+"""Edge-case and failure-injection tests for the junction tree."""
+
+import numpy as np
+import pytest
+
+from repro.bayesian import BayesianNetwork, JunctionTree, TabularCPD
+from repro.bayesian.junction import CliqueBudgetExceeded
+
+from tests.bayesian.util import random_bn, sprinkler_bn
+
+
+class TestImpossibleEvidence:
+    def test_zero_probability_evidence(self):
+        """Observing a deterministically excluded state yields evidence
+        probability zero and a clean error on normalization."""
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("a", [1.0, 0.0]))  # a is always 0
+        bn.add_cpd(TabularCPD.deterministic("b", 2, ["a"], [2], lambda a: a))
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"b": 1})  # impossible
+        jt.calibrate()
+        assert jt.probability_of_evidence() == pytest.approx(0.0)
+        with pytest.raises(ZeroDivisionError):
+            jt.marginal("a")
+
+    def test_near_impossible_evidence_still_normalizes(self):
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("a", [1 - 1e-9, 1e-9]))
+        bn.add_cpd(TabularCPD.deterministic("b", 2, ["a"], [2], lambda a: a))
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"b": 1})
+        assert jt.marginal("a")[1] == pytest.approx(1.0)
+
+
+class TestBudget:
+    def test_budget_raised_before_allocation(self):
+        bn = random_bn(12, seed=0, max_parents=4)
+        with pytest.raises(CliqueBudgetExceeded):
+            JunctionTree.from_network(bn, max_clique_states=4)
+
+    def test_generous_budget_passes(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn, max_clique_states=10**9)
+        assert jt.marginal("wet").sum() == pytest.approx(1.0)
+
+
+class TestRepeatedOperations:
+    def test_calibrate_is_idempotent(self):
+        jt = JunctionTree.from_network(sprinkler_bn())
+        jt.calibrate()
+        first = jt.marginal("wet").copy()
+        jt.calibrate()
+        assert np.allclose(jt.marginal("wet"), first, atol=1e-12)
+
+    def test_evidence_replaced_not_accumulated_on_clear(self):
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        jt.set_evidence({"wet": 1})
+        jt.set_evidence({"cloudy": 0})
+        # Both pieces of evidence are active (update semantics).
+        expected = bn.brute_force_marginal("rain", {"wet": 1, "cloudy": 0})
+        assert np.allclose(jt.marginal("rain"), expected, atol=1e-10)
+        jt.clear_evidence()
+        assert np.allclose(jt.marginal("rain"), [0.5, 0.5], atol=1e-10)
+
+    def test_many_update_cycles_stay_exact(self):
+        """Repeated update_cpds must not accumulate drift (the cached
+        per-clique CPD products are rebuilt for touched cliques)."""
+        bn = sprinkler_bn()
+        jt = JunctionTree.from_network(bn)
+        for p in np.linspace(0.05, 0.95, 7):
+            jt.update_cpds([TabularCPD.prior("cloudy", [1 - p, p])])
+            jt.calibrate()
+            reference = BayesianNetwork()
+            reference.add_cpd(TabularCPD.prior("cloudy", [1 - p, p]))
+            for node in ("sprinkler", "rain", "wet"):
+                reference.add_cpd(sprinkler_bn().cpd(node))
+            expected = reference.brute_force_marginal("wet")
+            assert np.allclose(jt.marginal("wet"), expected, atol=1e-10)
+
+
+class TestSingleNodeNetwork:
+    def test_trivial_network(self):
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("a", [0.3, 0.7]))
+        jt = JunctionTree.from_network(bn)
+        assert jt.marginal("a") == pytest.approx([0.3, 0.7])
+        assert jt.check_running_intersection()
+        assert len(jt.cliques) == 1

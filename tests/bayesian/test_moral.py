@@ -1,0 +1,50 @@
+"""Tests for moralization helpers."""
+
+import networkx as nx
+
+from repro.bayesian.moral import moral_graph, moral_graph_with_fill_report
+from repro.core.lidag import build_lidag
+from repro.circuits.examples import paper_circuit
+
+from tests.bayesian.util import sprinkler_bn
+
+
+class TestMoralGraph:
+    def test_marries_parents(self):
+        moral = moral_graph(sprinkler_bn())
+        assert moral.has_edge("sprinkler", "rain")
+
+    def test_keeps_skeleton(self):
+        bn = sprinkler_bn()
+        moral = moral_graph(bn)
+        for u, v in bn.edges:
+            assert moral.has_edge(u, v)
+
+    def test_undirected(self):
+        moral = moral_graph(sprinkler_bn())
+        assert not moral.is_directed()
+
+    def test_fill_report_lists_only_marriages(self):
+        bn = build_lidag(paper_circuit())
+        moral, marriages = moral_graph_with_fill_report(bn)
+        expected = {
+            frozenset(p) for p in [("1", "2"), ("3", "4"), ("5", "6"), ("7", "8")]
+        }
+        assert {frozenset(m) for m in marriages} == expected
+        # The marriages are in the graph and were not DAG edges.
+        dag_edges = {frozenset(e) for e in bn.edges}
+        for marriage in marriages:
+            assert moral.has_edge(*marriage)
+            assert frozenset(marriage) not in dag_edges
+
+    def test_no_marriages_for_chains(self):
+        import numpy as np
+
+        from repro.bayesian import BayesianNetwork, TabularCPD
+
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("a", [0.5, 0.5]))
+        bn.add_cpd(TabularCPD("b", 2, np.full((2, 2), 0.5), ["a"]))
+        bn.add_cpd(TabularCPD("c", 2, np.full((2, 2), 0.5), ["b"]))
+        _, marriages = moral_graph_with_fill_report(bn)
+        assert marriages == []

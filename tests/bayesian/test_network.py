@@ -1,0 +1,103 @@
+"""Tests for the BayesianNetwork container."""
+
+import numpy as np
+import pytest
+
+from repro.bayesian import BayesianNetwork, TabularCPD
+
+from tests.bayesian.util import random_bn, sprinkler_bn
+
+
+class TestConstruction:
+    def test_duplicate_cpd_rejected(self):
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("a", [0.5, 0.5]))
+        with pytest.raises(ValueError, match="already"):
+            bn.add_cpd(TabularCPD.prior("a", [0.5, 0.5]))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD("a", 2, np.full((2, 2), 0.5), ["b"]))
+        with pytest.raises(ValueError, match="cycle"):
+            bn.add_cpd(TabularCPD("b", 2, np.full((2, 2), 0.5), ["a"]))
+        # The failed node must not linger in the graph.
+        assert "b" in bn.nodes  # b exists as a's declared parent
+        assert bn.edges == [("b", "a")]
+
+    def test_validate_missing_cpd(self):
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD("a", 2, np.full((2, 2), 0.5), ["b"]))
+        with pytest.raises(ValueError, match="no CPD"):
+            bn.validate()
+
+    def test_validate_cardinality_mismatch(self):
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("b", [0.3, 0.3, 0.4]))
+        bn.add_cpd(TabularCPD("a", 2, np.full((2, 2), 0.5), ["b"]))
+        with pytest.raises(ValueError, match="states"):
+            bn.validate()
+
+
+class TestStructureQueries:
+    def test_parents_children(self):
+        bn = sprinkler_bn()
+        assert set(bn.parents("wet")) == {"sprinkler", "rain"}
+        assert set(bn.children("cloudy")) == {"sprinkler", "rain"}
+        assert bn.roots() == ["cloudy"]
+
+    def test_topological_order(self):
+        bn = sprinkler_bn()
+        order = bn.topological_order()
+        assert order.index("cloudy") < order.index("sprinkler") < order.index("wet")
+
+    def test_markov_blanket(self):
+        bn = sprinkler_bn()
+        # sprinkler's blanket: parent cloudy, child wet, co-parent rain.
+        assert bn.markov_blanket("sprinkler") == {"cloudy", "wet", "rain"}
+
+    def test_cardinality(self):
+        bn = sprinkler_bn()
+        assert bn.cardinality("wet") == 2
+
+    def test_to_digraph_is_copy(self):
+        bn = sprinkler_bn()
+        g = bn.to_digraph()
+        g.remove_node("wet")
+        assert "wet" in bn.nodes
+
+
+class TestDistribution:
+    def test_joint_sums_to_one(self):
+        bn = sprinkler_bn()
+        assert bn.joint_factor().total() == pytest.approx(1.0)
+
+    def test_joint_probability_matches_factor(self):
+        bn = sprinkler_bn()
+        joint = bn.joint_factor()
+        assignment = {"cloudy": 1, "sprinkler": 0, "rain": 1, "wet": 1}
+        assert bn.joint_probability(assignment) == pytest.approx(
+            joint.probability(assignment)
+        )
+
+    def test_chain_rule_on_random_networks(self):
+        for seed in range(3):
+            bn = random_bn(6, seed=seed)
+            joint = bn.joint_factor()
+            assert joint.total() == pytest.approx(1.0)
+            rng = np.random.default_rng(seed)
+            assignment = {n: int(rng.integers(2)) for n in bn.nodes}
+            assert bn.joint_probability(assignment) == pytest.approx(
+                joint.probability(assignment)
+            )
+
+    def test_brute_force_marginal(self):
+        bn = sprinkler_bn()
+        marginal = bn.brute_force_marginal("cloudy")
+        assert marginal == pytest.approx([0.5, 0.5])
+
+    def test_brute_force_marginal_with_evidence(self):
+        bn = sprinkler_bn()
+        posterior = bn.brute_force_marginal("rain", {"wet": 1})
+        # Wet grass raises the rain probability above its prior of 0.5.
+        assert posterior[1] > 0.5
+        assert posterior.sum() == pytest.approx(1.0)

@@ -1,0 +1,86 @@
+"""Statistical tests for the sampling engines.
+
+Tolerances are sized for ~5 sigma so the suite stays deterministic in
+practice while still catching real bugs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesian.sampling import (
+    forward_sample,
+    likelihood_weighting,
+    sample_marginal,
+)
+
+from tests.bayesian.util import random_bn, sprinkler_bn
+
+
+class TestForwardSampling:
+    def test_shapes_and_dtypes(self):
+        bn = sprinkler_bn()
+        samples = forward_sample(bn, 100, np.random.default_rng(0))
+        assert set(samples) == set(bn.nodes)
+        for arr in samples.values():
+            assert arr.shape == (100,)
+            assert arr.dtype == np.int64
+            assert arr.min() >= 0 and arr.max() <= 1
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            forward_sample(sprinkler_bn(), 0)
+
+    def test_root_marginal_converges(self):
+        bn = sprinkler_bn()
+        marginal = sample_marginal(bn, "cloudy", 40_000, np.random.default_rng(1))
+        assert marginal[1] == pytest.approx(0.5, abs=0.02)
+
+    def test_leaf_marginal_converges(self):
+        bn = sprinkler_bn()
+        exact = bn.brute_force_marginal("wet")
+        marginal = sample_marginal(bn, "wet", 40_000, np.random.default_rng(2))
+        assert marginal[1] == pytest.approx(exact[1], abs=0.02)
+
+    def test_deterministic_relationship_respected(self):
+        from repro.bayesian import BayesianNetwork, TabularCPD
+
+        bn = BayesianNetwork()
+        bn.add_cpd(TabularCPD.prior("a", [0.5, 0.5]))
+        bn.add_cpd(TabularCPD.deterministic("b", 2, ["a"], [2], lambda a: 1 - a))
+        samples = forward_sample(bn, 500, np.random.default_rng(3))
+        assert np.all(samples["b"] == 1 - samples["a"])
+
+    def test_random_network_marginals(self):
+        bn = random_bn(6, seed=4)
+        rng = np.random.default_rng(5)
+        for node in ("v0", "v5"):
+            exact = bn.brute_force_marginal(node)
+            estimate = sample_marginal(bn, node, 40_000, rng)
+            assert np.allclose(estimate, exact, atol=0.02)
+
+
+class TestLikelihoodWeighting:
+    def test_matches_exact_posterior(self):
+        bn = sprinkler_bn()
+        exact = bn.brute_force_marginal("rain", {"wet": 1})
+        estimate = likelihood_weighting(
+            bn, ["rain"], {"wet": 1}, 60_000, np.random.default_rng(6)
+        )["rain"]
+        assert np.allclose(estimate, exact, atol=0.02)
+
+    def test_evidence_on_root(self):
+        bn = sprinkler_bn()
+        exact = bn.brute_force_marginal("wet", {"cloudy": 0})
+        estimate = likelihood_weighting(
+            bn, ["wet"], {"cloudy": 0}, 60_000, np.random.default_rng(7)
+        )["wet"]
+        assert np.allclose(estimate, exact, atol=0.02)
+
+    def test_multiple_targets(self):
+        bn = sprinkler_bn()
+        result = likelihood_weighting(
+            bn, ["rain", "sprinkler"], {"wet": 1}, 20_000, np.random.default_rng(8)
+        )
+        assert set(result) == {"rain", "sprinkler"}
+        for probs in result.values():
+            assert probs.sum() == pytest.approx(1.0)

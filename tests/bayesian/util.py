@@ -1,0 +1,50 @@
+"""Shared helpers for Bayesian-engine tests."""
+
+import numpy as np
+
+from repro.bayesian import BayesianNetwork, TabularCPD
+
+
+def random_bn(
+    n_nodes: int,
+    seed: int = 0,
+    max_parents: int = 2,
+    cardinality: int = 2,
+    name: str = "rand",
+) -> BayesianNetwork:
+    """A random DAG-structured network with strictly positive CPDs."""
+    rng = np.random.default_rng(seed)
+    bn = BayesianNetwork(name)
+    names = [f"v{i}" for i in range(n_nodes)]
+    for i, node in enumerate(names):
+        k = int(rng.integers(0, min(max_parents, i) + 1))
+        parents = list(rng.choice(names[:i], size=k, replace=False)) if k else []
+        shape = tuple([cardinality] * k + [cardinality])
+        table = rng.random(shape) + 0.1
+        table /= table.sum(axis=-1, keepdims=True)
+        bn.add_cpd(TabularCPD(node, cardinality, table, parents))
+    return bn
+
+
+def sprinkler_bn() -> BayesianNetwork:
+    """The classic cloudy/sprinkler/rain/wet-grass network."""
+    bn = BayesianNetwork("sprinkler")
+    bn.add_cpd(TabularCPD.prior("cloudy", [0.5, 0.5]))
+    bn.add_cpd(
+        TabularCPD("sprinkler", 2, np.array([[0.5, 0.5], [0.9, 0.1]]), ["cloudy"])
+    )
+    bn.add_cpd(TabularCPD("rain", 2, np.array([[0.8, 0.2], [0.2, 0.8]]), ["cloudy"]))
+    bn.add_cpd(
+        TabularCPD(
+            "wet",
+            2,
+            np.array(
+                [
+                    [[1.0, 0.0], [0.1, 0.9]],
+                    [[0.1, 0.9], [0.01, 0.99]],
+                ]
+            ),
+            ["sprinkler", "rain"],
+        )
+    )
+    return bn

@@ -1,0 +1,164 @@
+"""Tests for the ROBDD package."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import (
+    ONE,
+    ZERO,
+    BDDManager,
+    build_line_bdds,
+    exact_signal_probabilities,
+)
+from repro.circuits import examples, generate
+from repro.circuits.gates import GateType
+
+
+class TestBasicOperations:
+    def test_terminals(self):
+        m = BDDManager(["a"])
+        assert m.apply_and(ZERO, ONE) == ZERO
+        assert m.apply_or(ZERO, ONE) == ONE
+        assert m.apply_xor(ONE, ONE) == ZERO
+
+    def test_var_and_negate(self):
+        m = BDDManager(["a"])
+        a = m.var("a")
+        na = m.negate(a)
+        assert m.evaluate(a, {"a": 1}) == 1
+        assert m.evaluate(na, {"a": 1}) == 0
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            BDDManager(["a"]).var("b")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            BDDManager(["a", "a"])
+
+    def test_canonicity(self):
+        """Equivalent functions share the same node id."""
+        m = BDDManager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        f = m.apply_or(m.apply_and(a, b), m.apply_and(a, m.negate(b)))
+        assert f == a  # ab + a!b == a
+
+    def test_contradiction_collapses_to_zero(self):
+        m = BDDManager(["a"])
+        a = m.var("a")
+        assert m.apply_and(a, m.negate(a)) == ZERO
+
+    def test_tautology_collapses_to_one(self):
+        m = BDDManager(["a"])
+        a = m.var("a")
+        assert m.apply_or(a, m.negate(a)) == ONE
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_apply_matches_truth_table(self, seed):
+        rng = np.random.default_rng(seed)
+        m = BDDManager(["a", "b", "c"])
+        nodes = {v: m.var(v) for v in "abc"}
+        # Random expression tree of depth 3.
+        ops = [m.apply_and, m.apply_or, m.apply_xor]
+
+        def rand_expr(depth):
+            if depth == 0 or rng.random() < 0.3:
+                node = nodes[list("abc")[rng.integers(3)]]
+                return m.negate(node) if rng.random() < 0.5 else node
+            op = ops[rng.integers(3)]
+            return op(rand_expr(depth - 1), rand_expr(depth - 1))
+
+        # Build the same function symbolically and by brute force.
+        rng_clone = np.random.default_rng(seed)
+
+        def rand_fn(depth, assignment):
+            if depth == 0 or rng_clone.random() < 0.3:
+                value = assignment[list("abc")[rng_clone.integers(3)]]
+                return 1 - value if rng_clone.random() < 0.5 else value
+            op_idx = rng_clone.integers(3)
+            lhs = rand_fn(depth - 1, assignment)
+            rhs = rand_fn(depth - 1, assignment)
+            return [lhs & rhs, lhs | rhs, lhs ^ rhs][op_idx]
+
+        node = rand_expr(3)
+        for bits in itertools.product((0, 1), repeat=3):
+            assignment = dict(zip("abc", bits))
+            rng_clone = np.random.default_rng(seed)
+            assert m.evaluate(node, assignment) == rand_fn(3, assignment)
+
+
+class TestGateApplication:
+    def test_nary_gates(self):
+        m = BDDManager(["a", "b", "c"])
+        operands = [m.var(v) for v in "abc"]
+        for gate_type in GateType:
+            ops = operands[:1] if gate_type in (GateType.NOT, GateType.BUF) else operands
+            node = m.apply_gate(gate_type, ops)
+            from repro.circuits.gates import evaluate_gate
+
+            for bits in itertools.product((0, 1), repeat=3):
+                assignment = dict(zip("abc", bits))
+                vals = [assignment[v] for v in "abc"][: len(ops)]
+                assert m.evaluate(node, assignment) == evaluate_gate(gate_type, vals)
+
+
+class TestProbabilities:
+    def test_single_variable(self):
+        m = BDDManager(["a"])
+        assert m.signal_probability(m.var("a"), {"a": 0.3}) == pytest.approx(0.3)
+
+    def test_and_probability(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        assert m.signal_probability(f, {"a": 0.5, "b": 0.4}) == pytest.approx(0.2)
+
+    def test_skipped_level_handled(self):
+        """P must be correct when a node's child skips levels."""
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_and(m.var("a"), m.var("c"))  # b never appears
+        assert m.signal_probability(f, {"a": 0.5, "b": 0.9, "c": 0.5}) == pytest.approx(0.25)
+
+    def test_satisfy_count(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_or(m.var("a"), m.var("b"))
+        assert m.satisfy_count(f) == 6  # 8 - 2 (a=b=0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_enumeration_on_random_circuits(self, seed):
+        circuit = generate.random_layered_circuit(6, 20, seed=seed)
+        probs = exact_signal_probabilities(circuit)
+        # Enumerate ground truth.
+        counts = {line: 0 for line in circuit.lines}
+        for bits in itertools.product((0, 1), repeat=6):
+            values = circuit.evaluate(dict(zip(circuit.inputs, bits)))
+            for line, v in values.items():
+                counts[line] += v
+        for line in circuit.lines:
+            assert probs[line] == pytest.approx(counts[line] / 64)
+
+
+class TestCircuitBdds:
+    def test_c17(self):
+        manager, nodes = build_line_bdds(examples.c17())
+        # Line 10 = NAND(1, 3): P = 1 - 0.25 = 0.75 under fair inputs.
+        p = manager.signal_probability(nodes["10"], {n: 0.5 for n in "12367"})
+        assert p == pytest.approx(0.75)
+
+    def test_selected_lines_only(self):
+        _, nodes = build_line_bdds(examples.c17(), lines=["22"])
+        assert set(nodes) == {"22"}
+
+    def test_node_budget(self):
+        circuit = generate.array_multiplier(8)
+        with pytest.raises(MemoryError):
+            build_line_bdds(circuit, max_nodes=500)
+
+    def test_constant_line(self):
+        circuit = examples.reconvergent_circuit()
+        probs = exact_signal_probabilities(circuit)
+        assert probs["y"] == 0.0

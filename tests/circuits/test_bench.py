@@ -1,0 +1,99 @@
+"""Tests for the ISCAS .bench parser and writer."""
+
+import pytest
+
+from repro.circuits.bench import (
+    BenchFormatError,
+    parse_bench,
+    parse_bench_file,
+    to_bench,
+    write_bench_file,
+)
+from repro.circuits.examples import C17_BENCH, c17
+from repro.circuits.gates import GateType
+
+
+class TestParsing:
+    def test_parse_c17(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        assert circuit.num_inputs == 5
+        assert circuit.num_outputs == 2
+        assert circuit.num_gates == 6
+        assert all(g.gate_type is GateType.NAND for g in circuit.gates.values())
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # a comment
+        INPUT(a)
+
+        INPUT(b)
+        OUTPUT(y)   # trailing comment
+        y = AND(a, b)
+        """
+        circuit = parse_bench(text)
+        assert circuit.inputs == ["a", "b"]
+        assert circuit.outputs == ["y"]
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = nand(a, a)\n"
+        circuit = parse_bench(text)
+        assert circuit.driver("y").gate_type is GateType.NAND
+
+    def test_buff_alias(self):
+        circuit = parse_bench("INPUT(a)\ny = BUFF(a)\n")
+        assert circuit.driver("y").gate_type is GateType.BUF
+
+    def test_dff_scan_conversion(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        q = DFF(d)
+        d = AND(a, q)
+        y = NOT(q)
+        """
+        circuit = parse_bench(text)
+        # FF output q becomes a pseudo-input, FF input d a pseudo-output.
+        assert "q" in circuit.inputs
+        assert "d" in circuit.outputs
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(BenchFormatError, match="line 2"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_empty_operands_raise(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\ny = AND()\n")
+
+    def test_no_inputs_raises(self):
+        with pytest.raises(BenchFormatError, match="no INPUT"):
+            parse_bench("# nothing here\n")
+
+
+class TestRoundTrip:
+    def test_c17_round_trips(self):
+        original = c17()
+        rebuilt = parse_bench(to_bench(original), name="c17")
+        assert rebuilt.inputs == original.inputs
+        assert set(rebuilt.outputs) == set(original.outputs)
+        assert set(rebuilt.gates) == set(original.gates)
+        for line, gate in original.gates.items():
+            other = rebuilt.driver(line)
+            assert other.gate_type is gate.gate_type
+            assert other.inputs == gate.inputs
+
+    def test_round_trip_preserves_behaviour(self):
+        original = c17()
+        rebuilt = parse_bench(to_bench(original))
+        vector = {"1": 1, "2": 0, "3": 1, "6": 1, "7": 0}
+        assert original.evaluate(vector) == rebuilt.evaluate(vector)
+
+    def test_buf_serialized_as_buff(self):
+        circuit = parse_bench("INPUT(a)\ny = BUFF(a)\n")
+        assert "BUFF(a)" in to_bench(circuit)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        write_bench_file(c17(), path)
+        rebuilt = parse_bench_file(path)
+        assert rebuilt.name == "c17"
+        assert rebuilt.num_gates == 6

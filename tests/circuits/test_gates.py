@@ -1,0 +1,159 @@
+"""Unit and property tests for the Boolean gate library."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    GATE_ALIASES,
+    GateType,
+    NARY_GATES,
+    UNARY_GATES,
+    controlling_value,
+    evaluate_gate,
+    gate_truth_table,
+    is_inverting,
+    resolve_gate_type,
+)
+
+
+class TestScalarEvaluation:
+    @pytest.mark.parametrize(
+        "gate_type, inputs, expected",
+        [
+            (GateType.AND, (0, 0), 0),
+            (GateType.AND, (1, 0), 0),
+            (GateType.AND, (1, 1), 1),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.NAND, (0, 1), 1),
+            (GateType.NOR, (0, 0), 1),
+            (GateType.NOR, (1, 0), 0),
+            (GateType.XOR, (0, 1), 1),
+            (GateType.XOR, (1, 1), 0),
+            (GateType.XNOR, (1, 1), 1),
+            (GateType.XNOR, (0, 1), 0),
+            (GateType.NOT, (0,), 1),
+            (GateType.NOT, (1,), 0),
+            (GateType.BUF, (1,), 1),
+            (GateType.BUF, (0,), 0),
+        ],
+    )
+    def test_two_input_truth_tables(self, gate_type, inputs, expected):
+        assert evaluate_gate(gate_type, inputs) == expected
+
+    def test_three_input_and(self):
+        assert evaluate_gate(GateType.AND, (1, 1, 1)) == 1
+        assert evaluate_gate(GateType.AND, (1, 0, 1)) == 0
+
+    def test_three_input_xor_is_parity(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert evaluate_gate(GateType.XOR, (a, b, c)) == (a + b + c) % 2
+
+    def test_bools_accepted(self):
+        assert evaluate_gate(GateType.AND, (True, True)) == 1
+        assert evaluate_gate(GateType.OR, (False, False)) == 0
+
+    def test_unary_arity_enforced(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NOT, (0, 1))
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.BUF, ())
+
+    def test_nary_needs_inputs(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, ())
+
+
+class TestVectorizedEvaluation:
+    @pytest.mark.parametrize("gate_type", sorted(NARY_GATES, key=lambda g: g.value))
+    def test_vectorized_matches_scalar(self, gate_type):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 2, size=64, dtype=np.uint8)
+        b = rng.integers(0, 2, size=64, dtype=np.uint8)
+        vec = evaluate_gate(gate_type, (a, b))
+        for k in range(64):
+            assert vec[k] == evaluate_gate(gate_type, (int(a[k]), int(b[k])))
+
+    def test_vector_output_dtype(self):
+        a = np.array([0, 1, 1], dtype=np.uint8)
+        out = evaluate_gate(GateType.NOT, (a,))
+        assert out.dtype == np.uint8
+        assert list(out) == [1, 0, 0]
+
+
+class TestTruthTables:
+    def test_truth_table_length(self):
+        assert len(gate_truth_table(GateType.AND, 3)) == 8
+
+    def test_and_table(self):
+        assert gate_truth_table(GateType.AND, 2) == [0, 0, 0, 1]
+
+    def test_nand_is_not_and(self):
+        and_tt = gate_truth_table(GateType.AND, 2)
+        nand_tt = gate_truth_table(GateType.NAND, 2)
+        assert [1 - v for v in and_tt] == nand_tt
+
+    @given(st.sampled_from(sorted(NARY_GATES, key=lambda g: g.value)), st.integers(2, 4))
+    def test_tables_are_binary(self, gate_type, arity):
+        assert set(gate_truth_table(gate_type, arity)) <= {0, 1}
+
+
+class TestDeMorganProperties:
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=5))
+    def test_nand_is_or_of_complements(self, bits):
+        lhs = evaluate_gate(GateType.NAND, bits)
+        rhs = evaluate_gate(GateType.OR, [1 - b for b in bits])
+        assert lhs == rhs
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=5))
+    def test_nor_is_and_of_complements(self, bits):
+        lhs = evaluate_gate(GateType.NOR, bits)
+        rhs = evaluate_gate(GateType.AND, [1 - b for b in bits])
+        assert lhs == rhs
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=6))
+    def test_xnor_complements_xor(self, bits):
+        assert evaluate_gate(GateType.XNOR, bits) == 1 - evaluate_gate(GateType.XOR, bits)
+
+
+class TestMetadata:
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+        assert controlling_value(GateType.XOR) is None
+        assert controlling_value(GateType.NOT) is None
+
+    def test_controlling_value_controls(self):
+        for gate_type in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            cv = controlling_value(gate_type)
+            pinned = evaluate_gate(gate_type, (cv, 0))
+            assert evaluate_gate(gate_type, (cv, 1)) == pinned
+
+    def test_inverting_flags(self):
+        assert is_inverting(GateType.NAND)
+        assert is_inverting(GateType.NOT)
+        assert not is_inverting(GateType.AND)
+        assert not is_inverting(GateType.BUF)
+
+    def test_aliases_resolve(self):
+        assert resolve_gate_type("BUFF") is GateType.BUF
+        assert resolve_gate_type("inv") is GateType.NOT
+        assert resolve_gate_type(" nand ") is GateType.NAND
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(ValueError):
+            resolve_gate_type("MAJ3")
+
+    def test_alias_table_covers_all_types(self):
+        assert set(GATE_ALIASES.values()) == set(GateType)
+
+    def test_unary_and_nary_partition(self):
+        assert UNARY_GATES | NARY_GATES == set(GateType)
+        assert not UNARY_GATES & NARY_GATES

@@ -1,0 +1,225 @@
+"""Functional correctness tests for the circuit generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import generate
+
+
+def bits_of(value, width):
+    return {i: (value >> i) & 1 for i in range(width)}
+
+
+def word_inputs(prefix, value, width):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+class TestRippleCarryAdder:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_adds(self, a, b, cin):
+        circuit = generate.ripple_carry_adder(4)
+        values = circuit.evaluate(
+            {**word_inputs("a", a, 4), **word_inputs("b", b, 4), "cin": cin}
+        )
+        result = sum(values[f"s{i}"] << i for i in range(4)) + (values["cout"] << 4)
+        assert result == a + b + cin
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            generate.ripple_carry_adder(0)
+
+
+class TestComparator:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_compares(self, a, b):
+        circuit = generate.magnitude_comparator(8)
+        values = circuit.evaluate({**word_inputs("a", a, 8), **word_inputs("b", b, 8)})
+        assert values["a_gt_b"] == int(a > b)
+        assert values["a_eq_b"] == int(a == b)
+
+
+class TestVoter:
+    @given(st.integers(0, 2**7 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_majority(self, votes):
+        circuit = generate.majority_voter(7)
+        values = circuit.evaluate({f"v{i}": (votes >> i) & 1 for i in range(7)})
+        assert values["majority"] == int(bin(votes).count("1") > 3)
+
+    def test_even_voters_rejected(self):
+        with pytest.raises(ValueError):
+            generate.majority_voter(4)
+
+
+class TestParityTree:
+    @given(st.integers(0, 2**6 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_parity(self, word):
+        circuit = generate.parity_tree(6)
+        values = circuit.evaluate({f"i{k}": (word >> k) & 1 for k in range(6)})
+        assert values["parity"] == bin(word).count("1") % 2
+
+    def test_odd_width(self):
+        circuit = generate.parity_tree(5)
+        values = circuit.evaluate({f"i{k}": 1 for k in range(5)})
+        assert values["parity"] == 1
+
+
+class TestDecoder:
+    def test_one_hot(self):
+        circuit = generate.decoder(3)
+        for code in range(8):
+            values = circuit.evaluate({f"s{k}": (code >> k) & 1 for k in range(3)})
+            outs = [values[f"d{c}"] for c in range(8)]
+            assert outs == [int(c == code) for c in range(8)]
+
+
+class TestMuxTree:
+    @given(st.integers(0, 2**8 - 1), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_selects(self, data, sel):
+        circuit = generate.mux_tree(3)
+        assignment = {f"d{k}": (data >> k) & 1 for k in range(8)}
+        assignment.update({f"s{k}": (sel >> k) & 1 for k in range(3)})
+        assert circuit.evaluate(assignment)["y"] == (data >> sel) & 1
+
+
+class TestAlu:
+    @pytest.mark.parametrize(
+        "op, func",
+        [
+            (0, lambda a, b: a & b),
+            (1, lambda a, b: a | b),
+            (2, lambda a, b: a ^ b),
+            (3, lambda a, b: (a + b) & 0xF),
+        ],
+    )
+    def test_ops(self, op, func):
+        circuit = generate.alu(4)
+        for a, b in [(3, 5), (15, 1), (9, 9), (0, 0), (7, 12)]:
+            assignment = {
+                **word_inputs("a", a, 4),
+                **word_inputs("b", b, 4),
+                "op0": op & 1,
+                "op1": (op >> 1) & 1,
+            }
+            values = circuit.evaluate(assignment)
+            result = sum(values[f"y{i}"] << i for i in range(4))
+            assert result == func(a, b), f"op={op} a={a} b={b}"
+
+    def test_add_carry_out(self):
+        circuit = generate.alu(4)
+        assignment = {
+            **word_inputs("a", 15, 4),
+            **word_inputs("b", 1, 4),
+            "op0": 1,
+            "op1": 1,
+        }
+        assert circuit.evaluate(assignment)["cout"] == 1
+
+
+class TestMultiplier:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplies(self, a, b):
+        circuit = generate.array_multiplier(4)
+        values = circuit.evaluate({**word_inputs("a", a, 4), **word_inputs("b", b, 4)})
+        product = sum(values[f"p{k}"] << k for k in range(8) if f"p{k}" in values)
+        assert product == a * b
+
+
+class TestCounter:
+    @given(st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_increment(self, q, en):
+        circuit = generate.counter_next_state(8)
+        values = circuit.evaluate({**word_inputs("q", q, 8), "en": en})
+        next_q = sum(values[f"nq{i}"] << i for i in range(8))
+        expected = (q + en) % 256
+        assert next_q == expected
+        assert values["ovf"] == int(q + en == 256)
+
+
+class TestMaxFlat:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_max(self, a, b):
+        circuit = generate.max_flat(8)
+        values = circuit.evaluate({**word_inputs("a", a, 8), **word_inputs("b", b, 8)})
+        result = sum(values[f"m{i}"] << i for i in range(8))
+        assert result == max(a, b)
+
+
+class TestParityClearRegister:
+    def test_clear_dominates(self):
+        circuit = generate.parity_clear_register(4)
+        assignment = {
+            **word_inputs("q", 0xF, 4),
+            **word_inputs("d", 0xF, 4),
+            "ld": 1,
+            "clr": 1,
+        }
+        values = circuit.evaluate(assignment)
+        assert all(values[f"nq{i}"] == 0 for i in range(4))
+        assert values["par"] == 0
+
+    def test_load_selects_d(self):
+        circuit = generate.parity_clear_register(4)
+        assignment = {
+            **word_inputs("q", 0x0, 4),
+            **word_inputs("d", 0x5, 4),
+            "ld": 1,
+            "clr": 0,
+        }
+        values = circuit.evaluate(assignment)
+        assert sum(values[f"nq{i}"] << i for i in range(4)) == 0x5
+        assert values["par"] == 0  # two ones
+
+    def test_hold_keeps_q(self):
+        circuit = generate.parity_clear_register(4)
+        assignment = {
+            **word_inputs("q", 0x9, 4),
+            **word_inputs("d", 0x6, 4),
+            "ld": 0,
+            "clr": 0,
+        }
+        values = circuit.evaluate(assignment)
+        assert sum(values[f"nq{i}"] << i for i in range(4)) == 0x9
+
+
+class TestRandomLayered:
+    def test_deterministic(self):
+        a = generate.random_layered_circuit(8, 40, seed=11)
+        b = generate.random_layered_circuit(8, 40, seed=11)
+        assert [str(g) for g in a.gates.values()] == [str(g) for g in b.gates.values()]
+
+    def test_different_seeds_differ(self):
+        a = generate.random_layered_circuit(8, 40, seed=11)
+        b = generate.random_layered_circuit(8, 40, seed=12)
+        assert [str(g) for g in a.gates.values()] != [str(g) for g in b.gates.values()]
+
+    def test_requested_sizes(self):
+        circuit = generate.random_layered_circuit(10, 55, seed=0)
+        assert circuit.num_inputs == 10
+        assert circuit.num_gates == 55
+
+    def test_max_fanin_respected(self):
+        circuit = generate.random_layered_circuit(8, 60, seed=3, max_fanin=2)
+        assert all(g.arity <= 2 for g in circuit.gates.values())
+
+    def test_evaluates(self):
+        circuit = generate.random_layered_circuit(6, 30, seed=5)
+        rng = np.random.default_rng(0)
+        patterns = rng.integers(0, 2, size=(16, 6), dtype=np.uint8)
+        values = circuit.evaluate_vectors(patterns)
+        assert all(v.shape == (16,) for v in values.values())
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            generate.random_layered_circuit(1, 5, seed=0)
+        with pytest.raises(ValueError):
+            generate.random_layered_circuit(4, 0, seed=0)

@@ -1,0 +1,148 @@
+"""Functional tests for the ISCAS-85 stand-in builders."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.iscas import (
+    merge_circuits,
+    priority_controller,
+    sec_circuit,
+    share_bus,
+)
+from repro.circuits.generate import alu, magnitude_comparator
+
+
+class TestPriorityController:
+    def test_io_counts(self):
+        circuit = priority_controller(27, 9)
+        assert circuit.num_inputs == 36
+
+    def test_highest_priority_wins(self):
+        circuit = priority_controller(8, 4)
+        # Requests 2 and 5 raised, all enables on: channel 2 wins.
+        assignment = {f"r{i}": int(i in (2, 5)) for i in range(8)}
+        assignment.update({f"e{i}": 1 for i in range(4)})
+        values = circuit.evaluate(assignment)
+        channel = sum(values[f"id{b}"] << b for b in range(3))
+        assert channel == 2
+        assert values["valid"] == 1
+
+    def test_disabled_channel_skipped(self):
+        circuit = priority_controller(8, 8)
+        assignment = {f"r{i}": int(i in (2, 5)) for i in range(8)}
+        assignment.update({f"e{i}": int(i != 2) for i in range(8)})
+        values = circuit.evaluate(assignment)
+        channel = sum(values[f"id{b}"] << b for b in range(3))
+        assert channel == 5
+
+    def test_no_requests_invalid(self):
+        circuit = priority_controller(8, 4)
+        assignment = {f"r{i}": 0 for i in range(8)}
+        assignment.update({f"e{i}": 1 for i in range(4)})
+        assert circuit.evaluate(assignment)["valid"] == 0
+
+
+class TestSecCircuit:
+    def _encode(self, circuit, data_word, data_bits, check_bits):
+        """Compute consistent check bits for a data word using the same
+        H-matrix columns the circuit uses."""
+        from repro.circuits.iscas import _parity_columns
+
+        columns = _parity_columns(data_bits, check_bits)
+        checks = []
+        for j in range(check_bits):
+            parity = 0
+            for i in range(data_bits):
+                if (columns[i] >> j) & 1:
+                    parity ^= (data_word >> i) & 1
+            checks.append(parity)
+        return checks
+
+    @pytest.mark.parametrize("expand", [False, True])
+    def test_clean_word_passes_through(self, expand):
+        data_bits, check_bits = 8, 5
+        circuit = sec_circuit(data_bits, check_bits, expand_xor=expand, name="sec")
+        word = 0b10110010
+        checks = self._encode(circuit, word, data_bits, check_bits)
+        assignment = {f"d{i}": (word >> i) & 1 for i in range(data_bits)}
+        assignment.update({f"c{j}": checks[j] for j in range(check_bits)})
+        assignment["en"] = 1
+        values = circuit.evaluate(assignment)
+        out = sum(values[f"o{i}"] << i for i in range(data_bits))
+        assert out == word
+
+    @pytest.mark.parametrize("flipped_bit", [0, 3, 7])
+    def test_single_error_corrected(self, flipped_bit):
+        data_bits, check_bits = 8, 5
+        circuit = sec_circuit(data_bits, check_bits, name="sec")
+        word = 0b01011100
+        checks = self._encode(circuit, word, data_bits, check_bits)
+        corrupted = word ^ (1 << flipped_bit)
+        assignment = {f"d{i}": (corrupted >> i) & 1 for i in range(data_bits)}
+        assignment.update({f"c{j}": checks[j] for j in range(check_bits)})
+        assignment["en"] = 1
+        values = circuit.evaluate(assignment)
+        out = sum(values[f"o{i}"] << i for i in range(data_bits))
+        assert out == word
+
+    def test_correction_disabled(self):
+        data_bits, check_bits = 8, 5
+        circuit = sec_circuit(data_bits, check_bits, name="sec")
+        word = 0b01011100
+        checks = self._encode(circuit, word, data_bits, check_bits)
+        corrupted = word ^ 1
+        assignment = {f"d{i}": (corrupted >> i) & 1 for i in range(data_bits)}
+        assignment.update({f"c{j}": checks[j] for j in range(check_bits)})
+        assignment["en"] = 0
+        values = circuit.evaluate(assignment)
+        out = sum(values[f"o{i}"] << i for i in range(data_bits))
+        assert out == corrupted  # passes through uncorrected
+
+    def test_expand_xor_increases_gate_count(self):
+        compact = sec_circuit(16, 5, expand_xor=False, name="a")
+        expanded = sec_circuit(16, 5, expand_xor=True, name="b")
+        assert expanded.num_gates > compact.num_gates
+
+    def test_too_few_check_bits(self):
+        with pytest.raises(ValueError):
+            sec_circuit(64, 4, name="bad")
+
+
+class TestMergeCircuits:
+    def test_disjoint_merge(self):
+        merged = merge_circuits(
+            "m", [("x", alu(2)), ("y", magnitude_comparator(2))]
+        )
+        assert merged.num_inputs == alu(2).num_inputs + magnitude_comparator(2).num_inputs
+        assert merged.num_gates == alu(2).num_gates + magnitude_comparator(2).num_gates
+
+    def test_shared_bus(self):
+        shared = {}
+        shared.update(share_bus("x", ["a0", "a1"], "A"))
+        shared.update(share_bus("y", ["a0", "a1"], "A"))
+        merged = merge_circuits(
+            "m", [("x", alu(2)), ("y", magnitude_comparator(2))], shared
+        )
+        # The two a-buses collapse onto A0/A1.
+        assert "A0" in merged.inputs and "A1" in merged.inputs
+        assert "x_a0" not in merged.inputs and "y_a0" not in merged.inputs
+        total = alu(2).num_inputs + magnitude_comparator(2).num_inputs
+        assert merged.num_inputs == total - 2
+
+    def test_shared_bus_behaviour(self):
+        """Both blocks must see the same shared values."""
+        shared = {}
+        shared.update(share_bus("x", ["a0", "a1"], "A"))
+        shared.update(share_bus("y", ["a0", "a1"], "A"))
+        merged = merge_circuits(
+            "m", [("x", alu(2)), ("y", magnitude_comparator(2))], shared
+        )
+        assignment = {name: 0 for name in merged.inputs}
+        assignment.update({"A0": 1, "A1": 1, "y_b0": 0, "y_b1": 0})
+        values = merged.evaluate(assignment)
+        # comparator sees a=3 > b=0
+        assert values["y_a_gt_b"] == 1
+
+    def test_outputs_prefixed(self):
+        merged = merge_circuits("m", [("x", alu(2))])
+        assert all(out.startswith("x_") for out in merged.outputs)

@@ -1,0 +1,213 @@
+"""Unit and property tests for the Circuit netlist container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.examples import c17, full_adder_circuit, paper_circuit
+from repro.circuits.gates import GateType
+from repro.circuits.generate import random_layered_circuit
+from repro.circuits.netlist import Circuit, CircuitError, Gate
+
+
+def tiny_circuit():
+    return Circuit(
+        "tiny",
+        ["a", "b"],
+        [Gate("x", GateType.AND, ("a", "b")), Gate("y", GateType.NOT, ("x",))],
+    )
+
+
+class TestConstruction:
+    def test_double_driver_rejected(self):
+        with pytest.raises(CircuitError, match="driven twice"):
+            Circuit(
+                "bad",
+                ["a"],
+                [Gate("x", GateType.NOT, ("a",)), Gate("x", GateType.BUF, ("a",))],
+            )
+
+    def test_driving_an_input_rejected(self):
+        with pytest.raises(CircuitError, match="driven by a gate"):
+            Circuit("bad", ["a", "x"], [Gate("x", GateType.NOT, ("a",))])
+
+    def test_undefined_source_rejected(self):
+        with pytest.raises(CircuitError, match="undefined line"):
+            Circuit("bad", ["a"], [Gate("x", GateType.AND, ("a", "ghost"))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CircuitError, match="cycle"):
+            Circuit(
+                "bad",
+                ["a"],
+                [
+                    Gate("x", GateType.AND, ("a", "y")),
+                    Gate("y", GateType.NOT, ("x",)),
+                ],
+            )
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Circuit("bad", ["a", "a"], [])
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(CircuitError, match="undefined primary output"):
+            Circuit("bad", ["a"], [], outputs=["nope"])
+
+    def test_gate_without_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("x", GateType.AND, ())
+
+    def test_default_outputs_are_sinks(self):
+        circuit = tiny_circuit()
+        assert circuit.outputs == ["y"]
+
+
+class TestStructure:
+    def test_topological_order_inputs_first(self):
+        circuit = c17()
+        order = circuit.topological_order()
+        assert order[: circuit.num_inputs] == circuit.inputs
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = c17()
+        position = {ln: i for i, ln in enumerate(circuit.topological_order())}
+        for gate in circuit.gates.values():
+            for src in gate.inputs:
+                assert position[src] < position[gate.output]
+
+    def test_levels(self):
+        circuit = tiny_circuit()
+        levels = circuit.levels()
+        assert levels == {"a": 0, "b": 0, "x": 1, "y": 2}
+        assert circuit.depth == 2
+
+    def test_fanout(self):
+        circuit = c17()
+        fanout = circuit.fanout()
+        assert sorted(fanout["11"]) == ["16", "19"]
+        assert fanout["22"] == []
+
+    def test_fanin_cone(self):
+        circuit = c17()
+        cone = circuit.fanin_cone("22")
+        assert set(cone) == {"1", "2", "3", "6", "10", "11", "16", "22"}
+        position = {ln: i for i, ln in enumerate(cone)}
+        assert position["1"] < position["10"] < position["22"]
+
+    def test_reconvergent_fanout_detected(self):
+        # In c17, line 11 fans out to 16 and 19 which reconverge at 23.
+        circuit = c17()
+        assert "11" in circuit.reconvergent_fanout_lines()
+
+    def test_no_reconvergence_in_tree(self):
+        circuit = Circuit(
+            "tree",
+            ["a", "b", "c", "d"],
+            [
+                Gate("x", GateType.AND, ("a", "b")),
+                Gate("y", GateType.OR, ("c", "d")),
+                Gate("z", GateType.XOR, ("x", "y")),
+            ],
+        )
+        assert circuit.reconvergent_fanout_lines() == []
+
+    def test_stats(self):
+        stats = c17().stats()
+        assert stats == {"inputs": 5, "outputs": 2, "gates": 6, "lines": 11, "depth": 3}
+
+    def test_driver_and_is_input(self):
+        circuit = tiny_circuit()
+        assert circuit.driver("x").gate_type is GateType.AND
+        assert circuit.driver("a") is None
+        assert circuit.is_input("a")
+        assert not circuit.is_input("x")
+
+
+class TestEvaluation:
+    def test_c17_known_vector(self):
+        circuit = c17()
+        values = circuit.evaluate({"1": 0, "2": 0, "3": 0, "6": 0, "7": 0})
+        # All-zero inputs: every first-level NAND outputs 1.
+        assert values["10"] == 1 and values["11"] == 1
+        assert values["22"] == evaluate_nand(values["10"], values["16"])
+
+    def test_full_adder_exhaustive(self):
+        circuit = full_adder_circuit()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values = circuit.evaluate({"a": a, "b": b, "cin": cin})
+                    total = a + b + cin
+                    assert values["sum"] == total % 2
+                    assert values["cout"] == total // 2
+
+    def test_missing_input_raises(self):
+        with pytest.raises(KeyError):
+            tiny_circuit().evaluate({"a": 1})
+
+    def test_vectorized_matches_scalar(self):
+        circuit = paper_circuit()
+        rng = np.random.default_rng(3)
+        patterns = rng.integers(0, 2, size=(32, circuit.num_inputs), dtype=np.uint8)
+        vec = circuit.evaluate_vectors(patterns)
+        for k in range(32):
+            scalar = circuit.evaluate(
+                {name: int(patterns[k, j]) for j, name in enumerate(circuit.inputs)}
+            )
+            for line in circuit.lines:
+                assert vec[line][k] == scalar[line]
+
+    def test_vectorized_shape_validation(self):
+        with pytest.raises(ValueError):
+            tiny_circuit().evaluate_vectors(np.zeros((4, 3), dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**10))
+    def test_random_circuit_vectorized_consistency(self, seed):
+        circuit = random_layered_circuit(4, 10, seed=seed)
+        rng = np.random.default_rng(seed)
+        patterns = rng.integers(0, 2, size=(8, 4), dtype=np.uint8)
+        vec = circuit.evaluate_vectors(patterns)
+        for k in range(8):
+            scalar = circuit.evaluate(
+                {name: int(patterns[k, j]) for j, name in enumerate(circuit.inputs)}
+            )
+            for line in circuit.lines:
+                assert vec[line][k] == scalar[line]
+
+
+class TestTransformations:
+    def test_subcircuit_cut_lines_become_inputs(self):
+        circuit = c17()
+        sub = circuit.subcircuit(["10", "16", "22"])
+        assert set(sub.inputs) == {"10", "16"}
+        assert set(sub.gates) == {"22"}
+
+    def test_subcircuit_keeps_internal_gates(self):
+        circuit = c17()
+        lines = ["1", "3", "10"]
+        sub = circuit.subcircuit(lines)
+        assert set(sub.inputs) == {"1", "3"}
+        assert sub.driver("10").gate_type is GateType.NAND
+
+    def test_subcircuit_evaluation_matches_parent(self):
+        circuit = c17()
+        cone = circuit.fanin_cone("22")
+        sub = circuit.subcircuit(cone)
+        full = circuit.evaluate({"1": 1, "2": 0, "3": 1, "6": 0, "7": 1})
+        sub_vals = sub.evaluate({name: full[name] for name in sub.inputs})
+        assert sub_vals["22"] == full["22"]
+
+    def test_renamed(self):
+        circuit = tiny_circuit()
+        renamed = circuit.renamed({"a": "alpha", "y": "out"})
+        assert renamed.inputs == ["alpha", "b"]
+        assert renamed.outputs == ["out"]
+        values = renamed.evaluate({"alpha": 1, "b": 1})
+        assert values["out"] == 0
+
+
+def evaluate_nand(a, b):
+    return 1 - (a & b)

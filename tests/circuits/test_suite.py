@@ -1,0 +1,60 @@
+"""Tests for the Table 1 benchmark suite registry."""
+
+import pytest
+
+from repro.circuits import suite
+
+
+class TestSuite:
+    def test_full_suite_has_paper_row_count(self):
+        # 19 Table 1 rows plus the embedded c17 stand-alone row = 20 names.
+        assert len(suite.FULL_SUITE) == 20
+
+    def test_small_suite_is_subset(self):
+        assert set(suite.SMALL_SUITE) <= set(suite.FULL_SUITE)
+
+    def test_c17_is_not_a_standin(self):
+        assert not suite.is_standin("c17")
+
+    def test_synthetic_circuits_flagged(self):
+        assert suite.is_standin("c432s")
+        assert suite.is_standin("voter")
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            suite.load_circuit("c9999")
+        with pytest.raises(KeyError):
+            suite.is_standin("c9999")
+
+    def test_small_suite_builds(self):
+        circuits = suite.benchmark_suite(suite.SMALL_SUITE)
+        assert set(circuits) == set(suite.SMALL_SUITE)
+        for circuit in circuits.values():
+            assert circuit.num_gates > 0
+
+    def test_sizes_track_paper(self):
+        # Stand-ins keep the published primary-input counts and land
+        # within a small factor of the published gate counts.
+        published = {
+            "c432s": (36, 160),
+            "c499s": (41, 202),
+            "c1355s": (41, 546),
+            "c2670s": (157, 1193),
+            "c7552s": (207, 3512),
+        }
+        for name, (pi, gates) in published.items():
+            circuit = suite.load_circuit(name)
+            assert abs(circuit.num_inputs - pi) <= 3, name
+            assert gates / 3 <= circuit.num_gates <= gates * 3, name
+        comp = suite.load_circuit("comp")
+        assert comp.num_inputs == 32
+
+    def test_deterministic_builds(self):
+        a = suite.load_circuit("c432s")
+        b = suite.load_circuit("c432s")
+        assert [str(g) for g in a.gates.values()] == [str(g) for g in b.gates.values()]
+
+    def test_available_circuits_order(self):
+        names = suite.available_circuits()
+        assert names[0] == "c17"
+        assert names == suite.FULL_SUITE

@@ -1,0 +1,114 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import pytest
+
+from repro.circuits.examples import c17, paper_circuit
+from repro.circuits.gates import GateType
+from repro.circuits.verilog import (
+    VerilogFormatError,
+    parse_verilog,
+    parse_verilog_file,
+    to_verilog,
+    write_verilog_file,
+)
+
+C17_VERILOG = """
+// ISCAS c17 in structural Verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+"""
+
+
+class TestParsing:
+    def test_parse_c17(self):
+        circuit = parse_verilog(C17_VERILOG)
+        assert circuit.name == "c17"
+        assert circuit.num_inputs == 5
+        assert circuit.num_gates == 6
+        assert set(circuit.outputs) == {"N22", "N23"}
+        assert all(g.gate_type is GateType.NAND for g in circuit.gates.values())
+
+    def test_behaviour_matches_bench_c17(self):
+        verilog = parse_verilog(C17_VERILOG)
+        bench = c17()
+        rename = {f"N{n}": n for n in ("1", "2", "3", "6", "7", "22", "23")}
+        for a in (0, 1):
+            for b in (0, 1):
+                vector = {"1": a, "2": b, "3": 1, "6": 0, "7": a}
+                v_vec = {f"N{k}": v for k, v in vector.items()}
+                assert (
+                    verilog.evaluate(v_vec)["N22"] == bench.evaluate(vector)["22"]
+                )
+
+    def test_block_comments_stripped(self):
+        text = """
+        module m (a, y); /* ports:
+        multi-line */ input a; output y;
+        not g (y, a);
+        endmodule
+        """
+        circuit = parse_verilog(text)
+        assert circuit.evaluate({"a": 0})["y"] == 1
+
+    def test_anonymous_instances(self):
+        text = "module m (a, b, y); input a, b; output y; and (y, a, b); endmodule"
+        circuit = parse_verilog(text)
+        assert circuit.driver("y").gate_type is GateType.AND
+
+    def test_missing_module(self):
+        with pytest.raises(VerilogFormatError, match="module"):
+            parse_verilog("not a netlist")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(VerilogFormatError, match="endmodule"):
+            parse_verilog("module m (a); input a;")
+
+    def test_unsupported_primitive(self):
+        text = "module m (a, y); input a; output y; dff g (y, a); endmodule"
+        with pytest.raises(VerilogFormatError, match="unsupported"):
+            parse_verilog(text)
+
+    def test_no_inputs(self):
+        with pytest.raises(VerilogFormatError, match="inputs"):
+            parse_verilog("module m (y); output y; endmodule")
+
+    def test_too_few_ports(self):
+        text = "module m (a, y); input a; output y; not g (y); endmodule"
+        with pytest.raises(VerilogFormatError, match="ports"):
+            parse_verilog(text)
+
+
+class TestRoundTrip:
+    def test_c17_round_trip(self):
+        original = c17()
+        rebuilt = parse_verilog(to_verilog(original))
+        assert set(rebuilt.gates) == set(original.gates)
+        vector = {"1": 1, "2": 0, "3": 1, "6": 1, "7": 0}
+        assert rebuilt.evaluate(vector) == original.evaluate(vector)
+
+    def test_paper_circuit_round_trip(self):
+        original = paper_circuit()
+        rebuilt = parse_verilog(to_verilog(original))
+        assert rebuilt.num_gates == original.num_gates
+        vector = {"1": 1, "2": 1, "3": 0, "4": 1}
+        assert rebuilt.evaluate(vector)["9"] == original.evaluate(vector)["9"]
+
+    def test_name_sanitized(self):
+        circuit = paper_circuit()  # name contains a dash
+        assert "module paper_fig1" in to_verilog(circuit)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "c17.v"
+        write_verilog_file(c17(), path)
+        rebuilt = parse_verilog_file(path)
+        assert rebuilt.num_gates == 6

@@ -1,0 +1,103 @@
+"""Tests for the deterministic gate transition CPTs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.netlist import Gate
+from repro.core.cpt import (
+    circuit_transition_cpds,
+    gate_transition_cpd,
+    output_transition,
+)
+from repro.core.states import N_STATES, TransitionState
+
+
+class TestOutputTransition:
+    def test_paper_example_or_gate(self):
+        """The paper: P(X5=x01 | X1=x01, X2=x00) = 1 for an OR gate."""
+        result = output_transition(
+            GateType.OR, [TransitionState.X01, TransitionState.X00]
+        )
+        assert result is TransitionState.X01
+
+    def test_not_gate_swaps_transitions(self):
+        assert output_transition(GateType.NOT, [TransitionState.X01]) is TransitionState.X10
+        assert output_transition(GateType.NOT, [TransitionState.X00]) is TransitionState.X11
+
+    @given(
+        st.sampled_from(list(GateType)),
+        st.lists(st.integers(0, 3), min_size=1, max_size=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_per_cycle_evaluation(self, gate_type, states):
+        if gate_type in (GateType.NOT, GateType.BUF):
+            states = states[:1]
+        elif len(states) < 2:
+            states = states * 2
+        prev = [(s >> 1) & 1 for s in states]
+        curr = [s & 1 for s in states]
+        expected_prev = evaluate_gate(gate_type, prev)
+        expected_curr = evaluate_gate(gate_type, curr)
+        result = output_transition(gate_type, states)
+        assert result.previous_value == expected_prev
+        assert result.current_value == expected_curr
+
+
+class TestGateCpd:
+    def test_two_input_table_size(self):
+        """The paper: a 2-input gate CPT has 4^3 entries."""
+        cpd = gate_transition_cpd(Gate("y", GateType.OR, ("a", "b")))
+        assert cpd.factor.size == 4 ** 3
+
+    def test_deterministic_rows(self):
+        cpd = gate_transition_cpd(Gate("y", GateType.NAND, ("a", "b")))
+        assert cpd.is_deterministic()
+
+    def test_parent_order_matches_gate_inputs(self):
+        cpd = gate_transition_cpd(Gate("y", GateType.AND, ("a", "b")))
+        assert cpd.parents == ("a", "b")
+
+    @pytest.mark.parametrize("gate_type", list(GateType))
+    def test_every_row_sums_to_one(self, gate_type):
+        inputs = ("a",) if gate_type in (GateType.NOT, GateType.BUF) else ("a", "b")
+        cpd = gate_transition_cpd(Gate("y", gate_type, inputs))
+        sums = cpd.factor.values.sum(axis=-1)
+        assert np.allclose(sums, 1.0)
+
+    def test_or_cpt_entry_from_paper(self):
+        cpd = gate_transition_cpd(Gate("5", GateType.OR, ("1", "2")))
+        prob = cpd.probability(
+            int(TransitionState.X01),
+            {"1": int(TransitionState.X01), "2": int(TransitionState.X00)},
+        )
+        assert prob == 1.0
+
+    def test_three_input_gate(self):
+        cpd = gate_transition_cpd(Gate("y", GateType.AND, ("a", "b", "c")))
+        assert cpd.factor.size == N_STATES ** 4
+        # All inputs high at both cycles -> output x11.
+        prob = cpd.probability(
+            int(TransitionState.X11),
+            {"a": 3, "b": 3, "c": 3},
+        )
+        assert prob == 1.0
+
+    def test_circuit_cpds_cover_all_gates(self):
+        from repro.circuits.examples import c17
+
+        circuit = c17()
+        cpds = circuit_transition_cpds(circuit)
+        assert {cpd.variable for cpd in cpds} == set(circuit.gates)
+
+    def test_xor_switch_propagation(self):
+        """XOR output toggles iff an odd number of inputs toggle."""
+        cpd = gate_transition_cpd(Gate("y", GateType.XOR, ("a", "b")))
+        # a switches (x01), b holds (x11): output was 0^1=1, now 1^1=0 -> x10
+        prob = cpd.probability(
+            int(TransitionState.X10),
+            {"a": int(TransitionState.X01), "b": int(TransitionState.X11)},
+        )
+        assert prob == 1.0

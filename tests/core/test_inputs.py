@@ -1,0 +1,199 @@
+"""Tests for the input statistics models."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import (
+    CorrelatedGroupInputs,
+    IndependentInputs,
+    TemporalInputs,
+    TraceInputs,
+)
+from repro.core.states import signal_probability, switching_probability
+
+
+class TestIndependentInputs:
+    def test_scalar_probability(self):
+        model = IndependentInputs(0.3)
+        dist = model.marginal_distribution("a")
+        assert signal_probability(dist) == pytest.approx(0.3)
+        assert switching_probability(dist) == pytest.approx(2 * 0.3 * 0.7)
+
+    def test_per_input_mapping(self):
+        model = IndependentInputs({"a": 0.1, "b": 0.9})
+        assert signal_probability(model.marginal_distribution("a")) == pytest.approx(0.1)
+        assert signal_probability(model.marginal_distribution("b")) == pytest.approx(0.9)
+        # Missing names default to 0.5.
+        assert signal_probability(model.marginal_distribution("zz")) == pytest.approx(0.5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            IndependentInputs(1.2).marginal_distribution("a")
+
+    def test_cpds_are_priors(self):
+        model = IndependentInputs(0.5)
+        cpds = model.input_cpds(["a", "b"])
+        assert all(cpd.parents == () for cpd in cpds)
+        assert [cpd.variable for cpd in cpds] == ["a", "b"]
+
+    def test_sampling_statistics(self):
+        model = IndependentInputs(0.25)
+        rng = np.random.default_rng(0)
+        prev, curr = model.sample_pairs(["a", "b"], 40_000, rng)
+        assert prev.shape == (40_000, 2)
+        assert prev.mean() == pytest.approx(0.25, abs=0.01)
+        assert curr.mean() == pytest.approx(0.25, abs=0.01)
+        # Temporal independence: P(prev=1, curr=1) = p^2.
+        both = (prev[:, 0] & curr[:, 0]).mean()
+        assert both == pytest.approx(0.0625, abs=0.01)
+
+    def test_sample_states_match_marginal(self):
+        model = IndependentInputs(0.5)
+        rng = np.random.default_rng(1)
+        states = model.sample_states(["a"], 40_000, rng)
+        hist = np.bincount(states[:, 0], minlength=4) / 40_000
+        assert np.allclose(hist, model.marginal_distribution("a"), atol=0.01)
+
+
+class TestTemporalInputs:
+    def test_target_activity(self):
+        model = TemporalInputs(p_one=0.5, activity=0.1)
+        dist = model.marginal_distribution("a")
+        assert switching_probability(dist) == pytest.approx(0.1)
+        assert signal_probability(dist) == pytest.approx(0.5)
+
+    def test_sampling_matches_distribution(self):
+        model = TemporalInputs(p_one=0.6, activity=0.2)
+        rng = np.random.default_rng(2)
+        states = model.sample_states(["a"], 50_000, rng)
+        hist = np.bincount(states[:, 0], minlength=4) / 50_000
+        assert np.allclose(hist, model.marginal_distribution("a"), atol=0.01)
+
+    def test_per_input_parameters(self):
+        model = TemporalInputs(p_one={"a": 0.2}, activity={"a": 0.3})
+        dist = model.marginal_distribution("a")
+        assert switching_probability(dist) == pytest.approx(0.3)
+
+    def test_infeasible_activity_raises(self):
+        model = TemporalInputs(p_one=0.05, activity=0.9)
+        with pytest.raises(ValueError):
+            model.marginal_distribution("a")
+
+
+class TestCorrelatedGroupInputs:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rho"):
+            CorrelatedGroupInputs([("a", "b")], rho=1.5)
+        with pytest.raises(ValueError, match="at least 2"):
+            CorrelatedGroupInputs([("a",)], rho=0.5)
+        with pytest.raises(ValueError, match="two groups"):
+            CorrelatedGroupInputs([("a", "b"), ("b", "c")], rho=0.5)
+
+    def test_marginals_preserved(self):
+        base = IndependentInputs(0.3)
+        model = CorrelatedGroupInputs([("a", "b")], rho=0.8, base=base)
+        assert np.allclose(
+            model.marginal_distribution("b"), base.marginal_distribution("b")
+        )
+
+    def test_cpd_structure(self):
+        model = CorrelatedGroupInputs([("a", "b", "c")], rho=0.5)
+        cpds = {cpd.variable: cpd for cpd in model.input_cpds(["a", "b", "c", "d"])}
+        assert cpds["a"].parents == ()
+        assert cpds["b"].parents == ("a",)
+        assert cpds["c"].parents == ("b",)
+        assert cpds["d"].parents == ()
+
+    def test_rho_zero_is_independent(self):
+        model = CorrelatedGroupInputs([("a", "b")], rho=0.0)
+        cpd = {c.variable: c for c in model.input_cpds(["a", "b"])}["b"]
+        # Every row equals the marginal: no dependence on the parent.
+        rows = cpd.factor.values
+        assert np.allclose(rows[0], rows[1])
+
+    def test_rho_one_copies(self):
+        model = CorrelatedGroupInputs([("a", "b")], rho=1.0)
+        cpd = {c.variable: c for c in model.input_cpds(["a", "b"])}["b"]
+        assert np.allclose(cpd.factor.values, np.eye(4))
+
+    def test_missing_parent_falls_back_to_prior(self):
+        model = CorrelatedGroupInputs([("a", "b")], rho=0.9)
+        cpds = model.input_cpds(["b"])  # parent 'a' not among the inputs
+        assert cpds[0].parents == ()
+
+    def test_sampling_correlation(self):
+        model = CorrelatedGroupInputs([("a", "b")], rho=1.0)
+        rng = np.random.default_rng(3)
+        states = model.sample_states(["a", "b"], 1000, rng)
+        assert np.array_equal(states[:, 0], states[:, 1])
+
+    def test_sampling_marginals_preserved(self):
+        model = CorrelatedGroupInputs([("a", "b")], rho=0.7)
+        rng = np.random.default_rng(4)
+        states = model.sample_states(["a", "b"], 50_000, rng)
+        for col in (0, 1):
+            hist = np.bincount(states[:, col], minlength=4) / 50_000
+            assert np.allclose(hist, model.marginal_distribution("a"), atol=0.01)
+
+    def test_group_listed_out_of_order_still_samples(self):
+        # Input order reversed relative to the group's chain order.
+        model = CorrelatedGroupInputs([("a", "b")], rho=1.0)
+        rng = np.random.default_rng(5)
+        states = model.sample_states(["b", "a"], 100, rng)
+        assert np.array_equal(states[:, 0], states[:, 1])
+
+
+class TestTraceInputs:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_cycles"):
+            TraceInputs(np.zeros((1, 2)), ["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            TraceInputs(np.zeros((4, 2)), ["a"])
+        with pytest.raises(ValueError, match="0/1"):
+            TraceInputs(np.full((4, 1), 2), ["a"])
+        with pytest.raises(ValueError, match="smoothing"):
+            TraceInputs(np.zeros((4, 1)), ["a"], smoothing=-1)
+        model = TraceInputs(np.zeros((4, 1)), ["a"])
+        with pytest.raises(KeyError):
+            model.marginal_distribution("ghost")
+
+    def test_distribution_from_known_trace(self):
+        # Column alternates 0,1,0,1,... -> every pair toggles.
+        trace = np.array([[0], [1], [0], [1], [0]])
+        model = TraceInputs(trace, ["a"], smoothing=0.0)
+        dist = model.marginal_distribution("a")
+        assert dist[0] == 0.0 and dist[3] == 0.0
+        assert dist[1] + dist[2] == pytest.approx(1.0)
+
+    def test_smoothing_avoids_zeros(self):
+        trace = np.zeros((10, 1), dtype=int)
+        model = TraceInputs(trace, ["a"], smoothing=1.0)
+        assert np.all(model.marginal_distribution("a") > 0)
+
+    def test_recovers_bernoulli_statistics(self):
+        rng = np.random.default_rng(0)
+        trace = (rng.random((50_000, 2)) < 0.3).astype(int)
+        model = TraceInputs(trace, ["a", "b"])
+        from repro.core.states import independent_transition_distribution
+
+        expected = independent_transition_distribution(0.3)
+        assert np.allclose(model.marginal_distribution("a"), expected, atol=0.01)
+
+    def test_sampling_preserves_marginals(self):
+        rng = np.random.default_rng(1)
+        trace = (rng.random((5_000, 2)) < 0.6).astype(int)
+        model = TraceInputs(trace, ["a", "b"])
+        states = model.sample_states(["b", "a"], 40_000, np.random.default_rng(2))
+        hist = np.bincount(states[:, 1], minlength=4) / 40_000
+        assert np.allclose(hist, model.marginal_distribution("a"), atol=0.015)
+
+    def test_estimator_accepts_trace_model(self):
+        from repro.circuits.examples import c17
+        from repro.core import SwitchingActivityEstimator
+
+        rng = np.random.default_rng(3)
+        circuit = c17()
+        trace = (rng.random((2_000, 5)) < 0.5).astype(int)
+        model = TraceInputs(trace, circuit.inputs)
+        result = SwitchingActivityEstimator(circuit, model).estimate()
+        assert 0.3 < result.mean_activity() < 0.6

@@ -1,0 +1,119 @@
+"""Tests for LIDAG construction and the Theorem-3 I-map property."""
+
+import pytest
+
+from repro.bayesian.dsep import d_separated
+from repro.circuits.examples import c17, full_adder_circuit, paper_circuit
+from repro.core.inputs import CorrelatedGroupInputs, IndependentInputs
+from repro.core.lidag import (
+    build_lidag,
+    lidag_node_ordering,
+    markov_boundaries,
+    verify_imap,
+)
+
+
+class TestStructure:
+    def test_one_node_per_line(self):
+        circuit = paper_circuit()
+        bn = build_lidag(circuit)
+        assert set(bn.nodes) == set(circuit.lines)
+
+    def test_edges_follow_gates(self):
+        """Definition 8: parents of an output line are its gate inputs."""
+        circuit = paper_circuit()
+        bn = build_lidag(circuit)
+        for line, gate in circuit.gates.items():
+            assert set(bn.parents(line)) == set(gate.inputs)
+
+    def test_inputs_are_roots(self):
+        bn = build_lidag(c17())
+        assert set(bn.roots()) == {"1", "2", "3", "6", "7"}
+
+    def test_paper_figure2_factorization(self):
+        """Eq. 7: the joint factors as P(x9|x7,x8) P(x8|x4) P(x7|x5,x6)
+        P(x6|x3,x4) P(x5|x1,x2) P(x4) P(x3) P(x2) P(x1)."""
+        bn = build_lidag(paper_circuit())
+        assert set(bn.parents("9")) == {"7", "8"}
+        assert set(bn.parents("8")) == {"4"}
+        assert set(bn.parents("7")) == {"5", "6"}
+        assert set(bn.parents("6")) == {"3", "4"}
+        assert set(bn.parents("5")) == {"1", "2"}
+        for root in ("1", "2", "3", "4"):
+            assert bn.parents(root) == []
+
+    def test_all_variables_four_state(self):
+        bn = build_lidag(c17())
+        assert all(bn.cardinality(n) == 4 for n in bn.nodes)
+
+    def test_correlated_inputs_add_edges(self):
+        model = CorrelatedGroupInputs([("1", "2")], rho=0.5)
+        bn = build_lidag(paper_circuit(), model)
+        assert bn.parents("2") == ["1"]
+
+
+class TestOrderingAndBoundaries:
+    def test_theorem3_ordering(self):
+        circuit = paper_circuit()
+        order = lidag_node_ordering(circuit)
+        # Inputs first...
+        assert order[:4] == ["1", "2", "3", "4"]
+        # ...then outputs respecting topology.
+        assert order.index("5") < order.index("7") < order.index("9")
+
+    def test_markov_boundaries(self):
+        circuit = paper_circuit()
+        boundaries = markov_boundaries(circuit)
+        assert boundaries["1"] == set()
+        assert boundaries["5"] == {"1", "2"}
+        assert boundaries["9"] == {"7", "8"}
+
+    def test_boundaries_equal_lidag_parents(self):
+        """The LIDAG designates each line's Markov boundary as its
+        parents -- the crux of the Theorem 3 proof."""
+        circuit = c17()
+        bn = build_lidag(circuit)
+        boundaries = markov_boundaries(circuit)
+        for line in circuit.lines:
+            assert set(bn.parents(line)) == boundaries[line]
+
+
+class TestPaperIndependenceExamples:
+    def test_x1_x2_marginally_independent(self):
+        """The paper: nodes X1 and X2 are independent..."""
+        bn = build_lidag(paper_circuit())
+        assert d_separated(bn.to_digraph(), {"1"}, {"2"})
+
+    def test_x1_x2_dependent_given_x9(self):
+        """...but conditionally dependent given X9 (collider opening)."""
+        bn = build_lidag(paper_circuit())
+        assert not d_separated(bn.to_digraph(), {"1"}, {"2"}, {"9"})
+
+    def test_x5_screens_off_x1_x2(self):
+        """Transitions at line 5 are conditionally independent of all
+        other lines' transitions given lines 1 and 2."""
+        bn = build_lidag(paper_circuit())
+        dag = bn.to_digraph()
+        assert d_separated(dag, {"5"}, {"3", "4"}, {"1", "2"})
+
+
+class TestImapProperty:
+    """Theorem 3 checked empirically: every d-separation displayed by
+    the LIDAG is a true independence of the enumerated switching joint."""
+
+    def test_paper_circuit_imap(self):
+        bn = build_lidag(paper_circuit())
+        assert verify_imap(bn, max_conditioning=1)
+
+    def test_full_adder_imap(self):
+        bn = build_lidag(full_adder_circuit())
+        assert verify_imap(bn, max_conditioning=1)
+
+    def test_imap_with_biased_inputs(self):
+        bn = build_lidag(paper_circuit(), IndependentInputs(0.2))
+        assert verify_imap(bn, max_conditioning=1)
+
+    def test_imap_with_correlated_inputs(self):
+        model = CorrelatedGroupInputs([("1", "2")], rho=0.6)
+        bn = build_lidag(paper_circuit(), model)
+        assert verify_imap(bn, max_conditioning=1)

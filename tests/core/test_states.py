@@ -1,0 +1,107 @@
+"""Tests for the 4-state transition algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.states import (
+    N_STATES,
+    STATE_NAMES,
+    TransitionState,
+    current_values,
+    encode_pairs,
+    independent_transition_distribution,
+    markov_transition_distribution,
+    previous_values,
+    signal_probability,
+    switching_probability,
+)
+
+
+class TestTransitionState:
+    def test_encoding(self):
+        assert TransitionState.from_pair(0, 0) is TransitionState.X00
+        assert TransitionState.from_pair(0, 1) is TransitionState.X01
+        assert TransitionState.from_pair(1, 0) is TransitionState.X10
+        assert TransitionState.from_pair(1, 1) is TransitionState.X11
+
+    def test_decoding_roundtrip(self):
+        for prev in (0, 1):
+            for curr in (0, 1):
+                state = TransitionState.from_pair(prev, curr)
+                assert state.previous_value == prev
+                assert state.current_value == curr
+
+    def test_is_switch(self):
+        assert TransitionState.X01.is_switch
+        assert TransitionState.X10.is_switch
+        assert not TransitionState.X00.is_switch
+        assert not TransitionState.X11.is_switch
+
+    def test_names(self):
+        assert str(TransitionState.X01) == "x01"
+        assert len(STATE_NAMES) == N_STATES
+
+    def test_vectorized_encode_decode(self):
+        prev = np.array([0, 0, 1, 1])
+        curr = np.array([0, 1, 0, 1])
+        states = encode_pairs(prev, curr)
+        assert list(states) == [0, 1, 2, 3]
+        assert list(previous_values(states)) == list(prev)
+        assert list(current_values(states)) == list(curr)
+
+
+class TestDistributions:
+    def test_switching_probability(self):
+        assert switching_probability([0.25, 0.25, 0.25, 0.25]) == 0.5
+        assert switching_probability([1, 0, 0, 0]) == 0.0
+
+    def test_switching_probability_shape_check(self):
+        with pytest.raises(ValueError):
+            switching_probability([0.5, 0.5])
+
+    def test_signal_probability(self):
+        dist = [0.1, 0.2, 0.3, 0.4]
+        assert signal_probability(dist, "current") == pytest.approx(0.6)
+        assert signal_probability(dist, "previous") == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            signal_probability(dist, "past")
+
+    @given(st.floats(0.0, 1.0))
+    def test_independent_distribution_properties(self, p):
+        dist = independent_transition_distribution(p)
+        assert dist.sum() == pytest.approx(1.0)
+        assert signal_probability(dist, "current") == pytest.approx(p)
+        assert signal_probability(dist, "previous") == pytest.approx(p)
+        assert switching_probability(dist) == pytest.approx(2 * p * (1 - p))
+
+    def test_independent_distribution_validation(self):
+        with pytest.raises(ValueError):
+            independent_transition_distribution(1.5)
+
+    @given(st.floats(0.05, 0.95), st.floats(0.0, 1.0))
+    def test_markov_distribution_properties(self, p, raw_activity):
+        activity = raw_activity * 2 * min(p, 1 - p)
+        dist = markov_transition_distribution(p, activity)
+        assert dist.sum() == pytest.approx(1.0)
+        assert switching_probability(dist) == pytest.approx(activity, abs=1e-9)
+        assert signal_probability(dist, "current") == pytest.approx(p, abs=1e-9)
+        # Stationarity: P(1) is the same at both cycles.
+        assert signal_probability(dist, "previous") == pytest.approx(p, abs=1e-9)
+
+    def test_markov_infeasible_activity(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            markov_transition_distribution(0.1, 0.9)
+
+    def test_markov_validation(self):
+        with pytest.raises(ValueError):
+            markov_transition_distribution(-0.1, 0.1)
+        with pytest.raises(ValueError):
+            markov_transition_distribution(0.5, 1.5)
+
+    def test_markov_reduces_to_independent(self):
+        p = 0.3
+        independent = independent_transition_distribution(p)
+        markov = markov_transition_distribution(p, 2 * p * (1 - p))
+        assert np.allclose(independent, markov)

@@ -1,0 +1,89 @@
+"""Tests for the switched-capacitance power model."""
+
+import pytest
+
+from repro.circuits.examples import c17
+from repro.core import SwitchingActivityEstimator
+from repro.power import (
+    PowerReport,
+    Technology,
+    fanout_capacitances,
+    power_from_activities,
+)
+
+
+class TestTechnology:
+    def test_defaults(self):
+        tech = Technology()
+        assert tech.vdd > 0 and tech.clock_hz > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Technology(vdd=0)
+        with pytest.raises(ValueError):
+            Technology(gate_input_cap=-1e-15)
+
+
+class TestCapacitances:
+    def test_fanout_scaling(self):
+        circuit = c17()
+        caps = fanout_capacitances(circuit)
+        # Line 11 feeds two gates; line 10 feeds one.
+        assert caps["11"] > caps["10"]
+
+    def test_output_pin_added(self):
+        circuit = c17()
+        tech = Technology()
+        caps = fanout_capacitances(circuit, tech)
+        # 22 is a primary output with no internal fanout.
+        assert caps["22"] == pytest.approx(tech.wire_cap + tech.output_pin_cap)
+
+    def test_all_lines_covered(self):
+        circuit = c17()
+        assert set(fanout_capacitances(circuit)) == set(circuit.lines)
+
+
+class TestPower:
+    def test_linear_in_activity(self):
+        circuit = c17()
+        half = power_from_activities(circuit, {ln: 0.5 for ln in circuit.lines})
+        quarter = power_from_activities(circuit, {ln: 0.25 for ln in circuit.lines})
+        assert half.total_watts == pytest.approx(2 * quarter.total_watts)
+
+    def test_quadratic_in_vdd(self):
+        circuit = c17()
+        acts = {ln: 0.5 for ln in circuit.lines}
+        p1 = power_from_activities(circuit, acts, Technology(vdd=1.0))
+        p2 = power_from_activities(circuit, acts, Technology(vdd=2.0))
+        assert p2.total_watts == pytest.approx(4 * p1.total_watts)
+
+    def test_missing_line_rejected(self):
+        circuit = c17()
+        with pytest.raises(KeyError):
+            power_from_activities(circuit, {"22": 0.5})
+
+    def test_bad_activity_rejected(self):
+        circuit = c17()
+        acts = {ln: 0.5 for ln in circuit.lines}
+        acts["22"] = 1.5
+        with pytest.raises(ValueError):
+            power_from_activities(circuit, acts)
+
+    def test_end_to_end_with_estimator(self):
+        circuit = c17()
+        estimate = SwitchingActivityEstimator(circuit).estimate()
+        report = power_from_activities(circuit, estimate.activities)
+        assert isinstance(report, PowerReport)
+        assert report.total_watts > 0
+        top = report.top_consumers(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_custom_capacitances(self):
+        circuit = c17()
+        acts = {ln: 0.5 for ln in circuit.lines}
+        caps = {ln: 1e-15 for ln in circuit.lines}
+        report = power_from_activities(circuit, acts, capacitances=caps)
+        tech = Technology()
+        expected = 0.5 * tech.vdd**2 * tech.clock_hz * 1e-15 * 0.5 * len(circuit.lines)
+        assert report.total_watts == pytest.approx(expected)
