@@ -1,0 +1,158 @@
+"""Propagation-engine benchmark: compile vs. propagate vs. marginal extraction.
+
+Emits ``BENCH_propagation.json`` -- the first datapoint of the perf
+trajectory.  The paper's headline claim is the *compile once,
+re-propagate in milliseconds* split; this runner times the three phases
+separately so regressions in any one of them are visible:
+
+- ``compile_seconds``      -- LIDAG + triangulation + junction tree(s),
+- ``first_estimate_seconds`` -- first calibration + marginal read-off,
+- ``repeat_estimate_seconds`` -- mean of ``update_inputs`` +
+  ``estimate()`` cycles with fresh input statistics (the paper's fast
+  path; this is the headline number),
+- ``marginal_extraction_seconds`` -- reading every line's 4-state
+  marginal from an already calibrated tree (batched when available).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_propagation.py \
+        [--circuits c17,alu,comp,voter,pcler8,c432s] [--repeats 5] \
+        [--output BENCH_propagation.json]
+
+Single-BN circuits use :class:`SwitchingActivityEstimator`; circuits
+whose clique budget overflows (the c432 class) fall back to
+:class:`SegmentedEstimator`, exactly as the CLI does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Dict, List
+
+from repro.circuits import suite
+from repro.core.estimator import CliqueBudgetExceeded, SwitchingActivityEstimator
+from repro.core.inputs import IndependentInputs
+from repro.core.segmentation import SegmentedEstimator
+
+DEFAULT_CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8", "c432s"]
+
+#: Input probabilities cycled through the repeat-propagation phase.
+SWEEP = [0.2, 0.35, 0.5, 0.65, 0.8]
+
+
+def _extract_marginals(estimator, lines: List[str]) -> float:
+    """Seconds to read every line marginal from a calibrated tree.
+
+    Uses the batched :meth:`JunctionTree.marginals` sweep when the
+    engine provides it, falling back to per-line ``marginal`` calls so
+    the runner also works against pre-engine checkouts.
+    """
+    jt = estimator.junction_tree
+    start = time.perf_counter()
+    if hasattr(jt, "marginals"):
+        jt.marginals(lines)
+    else:
+        for line in lines:
+            jt.marginal(line)
+    return time.perf_counter() - start
+
+
+def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object]:
+    circuit = suite.load_circuit(name)
+    row: Dict[str, object] = {
+        "circuit": name,
+        "gates": circuit.num_gates,
+        "lines": len(circuit.lines),
+    }
+
+    start = time.perf_counter()
+    try:
+        estimator = SwitchingActivityEstimator(circuit, max_clique_states=4 ** 10)
+        estimator.compile()
+        row["method"] = "single-bn"
+    except CliqueBudgetExceeded:
+        try:
+            estimator = SegmentedEstimator(circuit, parallelism=parallelism)
+        except TypeError:  # pre-engine checkout without the knob
+            estimator = SegmentedEstimator(circuit)
+        estimator.compile()
+        row["method"] = "segmented"
+        row["segments"] = estimator.num_segments
+    row["compile_seconds"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    first = estimator.estimate()
+    row["first_estimate_seconds"] = time.perf_counter() - start
+
+    cycle_seconds = []
+    for i in range(repeats):
+        model = IndependentInputs(SWEEP[i % len(SWEEP)])
+        start = time.perf_counter()
+        if isinstance(estimator, SegmentedEstimator):
+            estimator.input_model = model
+        else:
+            estimator.update_inputs(model)
+        estimator.estimate()
+        cycle_seconds.append(time.perf_counter() - start)
+    row["repeat_estimate_seconds"] = statistics.mean(cycle_seconds)
+    row["repeat_estimate_min_seconds"] = min(cycle_seconds)
+
+    if isinstance(estimator, SwitchingActivityEstimator):
+        row["marginal_extraction_seconds"] = _extract_marginals(
+            estimator, list(circuit.lines)
+        )
+    row["mean_activity"] = first.mean_activity()
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--circuits", default=",".join(DEFAULT_CIRCUITS),
+        help="comma-separated circuit names from the Table 1 suite",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--parallelism", type=int, default=0,
+        help="worker threads for segmented circuits (0 = serial)",
+    )
+    parser.add_argument("--output", default="BENCH_propagation.json")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    rows = []
+    for name in args.circuits.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        row = bench_circuit(name, args.repeats, args.parallelism)
+        rows.append(row)
+        print(
+            f"{name:>10s}  {row['method']:>9s}  "
+            f"compile {row['compile_seconds']:7.3f}s  "
+            f"first {row['first_estimate_seconds']:7.3f}s  "
+            f"repeat {row['repeat_estimate_seconds']:7.3f}s"
+        )
+
+    report = {
+        "benchmark": "propagation",
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

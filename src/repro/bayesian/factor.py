@@ -225,10 +225,62 @@ class Factor:
     def __repr__(self) -> str:
         return f"Factor({list(self.variables)}, size={self.size})"
 
+    # ------------------------------------------------------------------
+    # In-place kernels (propagation-engine fast path)
+    #
+    # These break the immutability convention on purpose; they are only
+    # called by code that owns the underlying buffer (the compiled
+    # propagation engine).  The public API above never mutates.
+    # ------------------------------------------------------------------
+
+    def _imul(self, other: "Factor") -> "Factor":
+        """In-place multiply by a factor whose scope is a subset of ours."""
+        self.values *= other._expand_to(self.variables)
+        return self
+
+    def _is_identity(self) -> bool:
+        """True for an all-ones table (multiplicative identity on its scope)."""
+        values = self.values
+        return bool((values == 1.0).all())
+
 
 def factor_product(factors: Iterable[Factor]) -> Factor:
-    """Multiply a collection of factors (unit factor if empty)."""
-    result = Factor.unit()
-    for factor in factors:
+    """Multiply a collection of factors (unit factor if empty).
+
+    Smallest-scope factors are folded first so intermediate products
+    stay as small as possible, and identity (all-ones) factors are
+    skipped unless they are needed to establish the result's scope.
+    The result's *variable set* matches the naive left-to-right fold;
+    the axis order may differ (use :meth:`Factor.permute` if a specific
+    order is required).
+    """
+    pending = sorted(factors, key=lambda f: f.size)
+    keep: list = []
+    identities: list = []
+    covered: set = set()
+    for factor in pending:
+        if factor._is_identity():
+            identities.append(factor)
+        else:
+            keep.append(factor)
+            covered |= factor._varset
+    # Identity factors only matter when they widen the scope.
+    for factor in identities:
+        if not factor._varset <= covered:
+            keep.append(factor)
+            covered |= factor._varset
+    if not keep:
+        # All inputs were identities over already-covered scopes (or the
+        # iterable was empty); the widest identity, if any, carries the
+        # scope.  ``covered`` is empty here, so the product is scalar 1
+        # unless some identity factor exists -- but every identity with
+        # new scope was kept above, so scalar unit is correct.
+        return Factor.unit()
+    keep.sort(key=lambda f: f.size)
+    result = keep[0]
+    for factor in keep[1:]:
         result = result.product(factor)
+    if len(keep) == 1:
+        # Never alias an input factor: callers treat results as fresh.
+        result = Factor._unsafe(result.variables, result.values.copy())
     return result

@@ -29,6 +29,7 @@ from repro.bayesian.cpd import TabularCPD
 from repro.bayesian.factor import Factor, factor_product
 from repro.bayesian.moral import moral_graph
 from repro.bayesian.network import BayesianNetwork
+from repro.bayesian.propagation import PropagationEngine, PropagationSchedule
 from repro.bayesian.triangulate import elimination_cliques, triangulate
 
 
@@ -55,6 +56,7 @@ class JunctionTree:
         tree: nx.Graph,
         elimination_order: List[str],
         fill_ins: List[Tuple[str, str]],
+        engine: bool = True,
     ):
         self._bn = bn
         self.cliques = cliques
@@ -71,11 +73,14 @@ class JunctionTree:
 
         #: clique index each CPD is assigned to
         self._cpd_assignment: Dict[str, int] = {}
+        #: reverse map: clique index -> nodes whose CPD lives there
+        self._cpd_members: List[List[str]] = [[] for _ in cliques]
         for node in bn.nodes:
             family = set(bn.parents(node)) | {node}
             for idx, clique in enumerate(cliques):
                 if family <= clique:
                     self._cpd_assignment[node] = idx
+                    self._cpd_members[idx].append(node)
                     break
             else:
                 raise JunctionTreeError(
@@ -90,6 +95,12 @@ class JunctionTree:
         #: cached per-clique product of assigned CPD factors (no
         #: evidence); lets update_cpds re-multiply only touched cliques
         self._cpd_products: Optional[List[Factor]] = None
+        #: compiled propagation engine (schedule + preallocated buffers);
+        #: built lazily on first calibration when ``engine`` is True.
+        #: ``engine=False`` keeps the Factor-based reference path, used
+        #: by tests and benchmarks as the slow oracle.
+        self._use_engine = engine
+        self._engine: Optional[PropagationEngine] = None
         self._init_potentials()
 
     # ------------------------------------------------------------------
@@ -103,6 +114,7 @@ class JunctionTree:
         heuristic: str = "min_fill",
         elimination_order: Optional[Sequence[str]] = None,
         max_clique_states: Optional[int] = None,
+        engine: bool = True,
     ) -> "JunctionTree":
         """Compile a Bayesian network into a junction tree.
 
@@ -119,6 +131,10 @@ class JunctionTree:
             If given, raise :class:`CliqueBudgetExceeded` before
             materializing any table whose clique exceeds this many
             entries.
+        engine:
+            Use the compiled propagation engine
+            (:mod:`repro.bayesian.propagation`).  ``False`` selects the
+            Factor-based reference path (slower; kept as an oracle).
         """
         bn.validate()
         moral = moral_graph(bn)
@@ -137,7 +153,7 @@ class JunctionTree:
                     f"(budget {max_clique_states})"
                 )
         tree = cls._build_tree(cliques)
-        return cls(bn, cliques, tree, order, fills)
+        return cls(bn, cliques, tree, order, fills, engine=engine)
 
     @staticmethod
     def _build_tree(cliques: List[frozenset]) -> nx.Graph:
@@ -158,17 +174,23 @@ class JunctionTree:
 
     def _clique_cpd_product(self, idx: int) -> Factor:
         """Product of the CPD factors assigned to clique ``idx``, over
-        the clique's full scope."""
-        clique = self.cliques[idx]
-        base = Factor.uniform(
-            sorted(clique), [self._cardinalities[v] for v in sorted(clique)]
-        )
+        the clique's full scope in canonical (sorted) axis order."""
+        order = sorted(self.cliques[idx])
+        base = Factor.uniform(order, [self._cardinalities[v] for v in order])
         members = [
-            self._bn.cpd(node).to_factor()
-            for node, assigned in self._cpd_assignment.items()
-            if assigned == idx
+            self._bn.cpd(node).to_factor() for node in self._cpd_members[idx]
         ]
-        return factor_product([base] + members)
+        return factor_product([base] + members).permute(order)
+
+    def _clique_potential(self, idx: int) -> Factor:
+        """Initial potential of clique ``idx``: its CPD product times
+        the evidence indicators of variables homed there."""
+        potential = self._cpd_products[idx]
+        for var, state in self._evidence.items():
+            if self._home_clique[var] == idx:
+                indicator = Factor.indicator(var, self._cardinalities[var], state)
+                potential = potential.product(indicator)
+        return potential
 
     def _init_potentials(self) -> None:
         """(Re)build clique potentials from cached CPD products plus the
@@ -189,6 +211,24 @@ class JunctionTree:
                 sorted(sep), [self._cardinalities[x] for x in sorted(sep)]
             )
         self._calibrated = False
+        if self._engine is not None:
+            # Full reset requested (new evidence set, bench reruns, ...):
+            # push every potential and mark everything dirty.
+            for idx in range(len(self.cliques)):
+                self._engine.set_potential(idx, self._potentials[idx])
+
+    def _mark_cliques_dirty(self, indices: Iterable[int]) -> None:
+        """Refresh the engine potentials of the given cliques only.
+
+        This is the dirty-clique fast path: the next calibration
+        re-propagates just the messages the changes can reach instead of
+        resetting every potential and separator.
+        """
+        for idx in set(indices):
+            potential = self._clique_potential(idx)
+            self._potentials[idx] = potential
+            self._engine.set_potential(idx, potential)
+        self._calibrated = False
 
     # ------------------------------------------------------------------
     # Evidence & CPD updates
@@ -202,11 +242,20 @@ class JunctionTree:
             if not 0 <= state < self._cardinalities[var]:
                 raise ValueError(f"state {state} out of range for {var!r}")
         self._evidence.update(evidence)
-        self._init_potentials()
+        if self._engine is not None:
+            self._mark_cliques_dirty(
+                self._home_clique[var] for var in evidence
+            )
+        else:
+            self._init_potentials()
 
     def clear_evidence(self) -> None:
+        cleared = list(self._evidence)
         self._evidence = {}
-        self._init_potentials()
+        if self._engine is not None:
+            self._mark_cliques_dirty(self._home_clique[var] for var in cleared)
+        else:
+            self._init_potentials()
 
     def update_cpds(self, cpds: Iterable[TabularCPD]) -> None:
         """Swap in new CPDs (same structure) without recompiling.
@@ -229,18 +278,31 @@ class JunctionTree:
                 raise ValueError(f"new CPD for {cpd.variable!r} changes cardinality")
             self._bn._cpds[cpd.variable] = cpd
         # Re-multiply only the cliques whose assigned CPDs changed.
+        affected = {self._cpd_assignment[c.variable] for c in cpds}
         if self._cpd_products is not None:
-            affected = {self._cpd_assignment[c.variable] for c in cpds}
             for idx in affected:
                 self._cpd_products[idx] = self._clique_cpd_product(idx)
-        self._init_potentials()
+        if self._engine is not None and self._cpd_products is not None:
+            self._mark_cliques_dirty(affected)
+        else:
+            self._init_potentials()
 
     # ------------------------------------------------------------------
     # Calibration (two-phase message passing)
     # ------------------------------------------------------------------
 
     def calibrate(self) -> None:
-        """Run collect + distribute over every tree component."""
+        """Run collect + distribute over every tree component.
+
+        With the compiled engine (the default) this propagates over the
+        precomputed schedule, re-running only messages reachable from
+        dirty cliques; a calibrated tree with no pending changes is a
+        no-op.  With ``engine=False`` it runs the Factor-based reference
+        message passes.
+        """
+        if self._use_engine:
+            self._calibrate_engine()
+            return
         seen: Set[int] = set()
         for root in self.tree.nodes:
             if root in seen:
@@ -255,6 +317,25 @@ class JunctionTree:
             for node, parent in component_order:
                 if parent is not None:
                     self._pass_message(parent, node)
+        self._calibrated = True
+
+    def _calibrate_engine(self) -> None:
+        """Propagate via the compiled schedule (built on first use)."""
+        if self._engine is None:
+            schedule = PropagationSchedule(
+                self.cliques, self.tree.edges, self._cardinalities
+            )
+            self._engine = PropagationEngine(schedule)
+            for idx in range(len(self.cliques)):
+                self._engine.set_potential(idx, self._potentials[idx])
+        self._engine.propagate()
+        # Beliefs are views over the engine's preallocated buffers; the
+        # Factor wrappers are stable across propagations.
+        self._potentials = self._engine.belief_factors()
+        self._separators = {
+            frozenset((u, v)): self._engine.separator_factor(u, v)
+            for u, v in self.tree.edges
+        }
         self._calibrated = True
 
     def _dfs_order(self, root: int) -> List[Tuple[int, Optional[int]]]:
@@ -293,11 +374,27 @@ class JunctionTree:
     def marginal(self, variable: str) -> np.ndarray:
         """Posterior marginal ``P(variable | evidence)`` as a vector."""
         self._require_calibration()
+        if self._engine is not None:
+            return self._engine.marginals([variable])[variable]
         idx = self._home_clique.get(variable)
         if idx is None:
             raise KeyError(f"unknown variable {variable!r}")
         factor = self._potentials[idx].marginal_onto([variable])
         return factor.normalize().values
+
+    def marginals(self, variables: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Posterior marginals of many variables in one batched sweep.
+
+        Variables sharing a home clique are extracted together: the
+        clique belief is normalized once and swept with one einsum per
+        variable, instead of one ``marginal_onto`` + ``normalize`` pair
+        per variable.  Equivalent to ``{v: jt.marginal(v) for v in
+        variables}`` but substantially faster for full-circuit reads.
+        """
+        self._require_calibration()
+        if self._engine is not None:
+            return self._engine.marginals(variables)
+        return {v: self.marginal(v) for v in variables}
 
     def joint_marginal(self, variables: Sequence[str]) -> Factor:
         """Joint posterior of variables that share a clique.

@@ -145,6 +145,38 @@ class TreeBoundaryInputs(InputModel):
         )
 
 
+class _SegmentRegistry:
+    """Staging area for compiled segments.
+
+    Registration order is the (deterministic) serial compile order.  A
+    registry can chain to a frozen ``base``: parallel compile workers
+    stage their own chunk's segments locally while resolving boundary
+    providers through the base, which holds every lower-level segment.
+    Same-level chunks never provide each other's inputs, so a worker's
+    view is identical to what the serial pass would have seen.
+    """
+
+    __slots__ = ("base", "records", "_provider")
+
+    def __init__(self, base: Optional["_SegmentRegistry"] = None):
+        self.base = base
+        #: (segment, estimator, owned, parent_of) in registration order
+        self.records: List[Tuple[Circuit, object, set, Dict[str, str]]] = []
+        self._provider: Dict[str, object] = {}
+
+    def provider_of(self, line: str):
+        """The estimator that publishes ``line``, or None."""
+        provider = self._provider.get(line)
+        if provider is None and self.base is not None:
+            return self.base.provider_of(line)
+        return provider
+
+    def add(self, segment, estimator, owned, parent_of) -> None:
+        self.records.append((segment, estimator, owned, parent_of))
+        for line in owned:
+            self._provider[line] = estimator
+
+
 class SegmentedEstimator:
     """Switching-activity estimation with multiple Bayesian networks.
 
@@ -186,6 +218,12 @@ class SegmentedEstimator:
         grows segments along the cone order until the *input-count*
         budget, which typically yields far fewer, larger, exact
         segments on high-treewidth circuits.
+    parallelism:
+        Worker threads for the segment pipeline.  ``0`` or ``1`` keeps
+        the serial path.  ``>= 2`` compiles independent chunks
+        concurrently and propagates level-by-level over the segment
+        ownership DAG; results are bitwise identical to the serial
+        path (each segment sees exactly the same upstream inputs).
     """
 
     def __init__(
@@ -199,6 +237,7 @@ class SegmentedEstimator:
         boundary: str = "tree",
         enum_input_states: int = 4 ** 9,
         backend: str = "auto",
+        parallelism: int = 0,
     ):
         if max_gates_per_segment < 1:
             raise ValueError("max_gates_per_segment must be >= 1")
@@ -210,6 +249,8 @@ class SegmentedEstimator:
             raise ValueError(f"unknown backend {backend!r}")
         if backend == "enum" and not enum_input_states:
             raise ValueError("backend='enum' requires enum_input_states > 0")
+        if parallelism < 0:
+            raise ValueError("parallelism must be >= 0")
         self.circuit = circuit
         self.input_model = input_model if input_model is not None else IndependentInputs(0.5)
         self.max_gates_per_segment = max_gates_per_segment
@@ -219,6 +260,7 @@ class SegmentedEstimator:
         self.boundary = boundary
         self.enum_input_states = enum_input_states
         self.backend = backend
+        self.parallelism = parallelism
         self._segments: List[Tuple[Circuit, object, set]] = []
         #: per segment: child -> tree parent among that segment's inputs
         self._boundary_trees: List[Dict[str, str]] = []
@@ -240,17 +282,93 @@ class SegmentedEstimator:
         self._cone_cache: Dict[str, frozenset] = {}
         if self.backend == "enum":
             chunks = self._partition_by_inputs(internal)
-            for index, chunk in enumerate(chunks):
-                self._compile_enum_chunk(chunk, f"{index}")
+            compile_fn = self._compile_enum_chunk
         else:
             chunks = [
                 internal[i : i + self.max_gates_per_segment]
                 for i in range(0, len(internal), self.max_gates_per_segment)
             ]
+            compile_fn = lambda chunk, label, registry: self._compile_chunk(  # noqa: E731
+                chunk, label, self.lookback, registry
+            )
+        registry = _SegmentRegistry()
+        if self.parallelism > 1 and len(chunks) > 1:
+            records = self._compile_chunks_parallel(chunks, compile_fn, registry)
+        else:
             for index, chunk in enumerate(chunks):
-                self._compile_chunk(chunk, f"{index}", self.lookback)
+                compile_fn(chunk, f"{index}", registry)
+            records = registry.records
+        self._finalize_segments(records)
         self.compile_seconds = time.perf_counter() - start
         return self
+
+    def _finalize_segments(self, records) -> None:
+        """Install staged records as the global segment tables."""
+        self._segments = [(seg, est, owned) for seg, est, owned, _ in records]
+        self._boundary_trees = [parent_of for _, _, _, parent_of in records]
+        self._owner = {}
+        for index, (_, _, owned) in enumerate(self._segments):
+            for line in owned:
+                self._owner[line] = index
+
+    def _chunk_levels(self, chunks: List[List[str]]) -> List[int]:
+        """Dependency level per chunk over the chunk-ownership DAG.
+
+        Chunk ``j`` is a dependency of chunk ``i`` when any line of
+        ``i``'s lookback-expanded segment (gates or their sources) is
+        owned by ``j``.  The expansion with the *maximum* lookback is
+        used, so levels stay conservative even when a budget miss later
+        sheds lookback or splits the chunk (sub-chunks only shrink the
+        expansion).
+        """
+        owner_chunk = {
+            line: index for index, chunk in enumerate(chunks) for line in chunk
+        }
+        levels: List[int] = []
+        for index, chunk in enumerate(chunks):
+            expanded = self._expand_with_lookback(chunk, self.lookback)
+            needed = set(expanded)
+            for line in expanded:
+                needed.update(self.circuit.driver(line).inputs)
+            deps = {
+                owner_chunk[line]
+                for line in needed
+                if line in owner_chunk and owner_chunk[line] != index
+            }
+            levels.append(1 + max((levels[d] for d in deps), default=-1))
+        return levels
+
+    def _compile_chunks_parallel(self, chunks, compile_fn, registry):
+        """Compile chunks level-by-level with a thread pool.
+
+        Each worker stages its chunk's segments (including any budget
+        splits) into a private registry chained to the shared one, so
+        sub-chunks of the same chunk see each other exactly as in the
+        serial pass.  Staged records merge into the shared registry
+        after every level; the final record list is rebuilt in chunk
+        order, which reproduces the serial registration order exactly.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        levels = self._chunk_levels(chunks)
+        staged: List[Optional[_SegmentRegistry]] = [None] * len(chunks)
+        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+            for level in range(max(levels) + 1):
+                members = [i for i, lv in enumerate(levels) if lv == level]
+                futures = []
+                for index in members:
+                    staged[index] = _SegmentRegistry(base=registry)
+                    futures.append(
+                        pool.submit(
+                            compile_fn, chunks[index], f"{index}", staged[index]
+                        )
+                    )
+                for future in futures:
+                    future.result()
+                for index in members:
+                    for record in staged[index].records:
+                        registry.add(*record)
+        return [record for reg in staged for record in reg.records]
 
     def _partition_by_inputs(self, order: List[str]) -> List[List[str]]:
         """Greedy cone-order partition bounded by external-input count.
@@ -280,7 +398,9 @@ class SegmentedEstimator:
             chunks.append(current)
         return chunks
 
-    def _compile_enum_chunk(self, chunk: List[str], label: str) -> None:
+    def _compile_enum_chunk(
+        self, chunk: List[str], label: str, registry: _SegmentRegistry
+    ) -> None:
         """Build an enumeration segment for a chunk.
 
         Like the junction-tree path, upstream logic is duplicated into
@@ -303,7 +423,7 @@ class SegmentedEstimator:
             )
             uniform = {name: np.full(N_STATES, 0.25) for name in segment.inputs}
             if self.boundary == "tree":
-                parent_of = self._boundary_tree_for(segment.inputs)
+                parent_of = self._boundary_tree_for(segment.inputs, registry)
                 placeholder: InputModel = TreeBoundaryInputs(uniform, parent_of)
             else:
                 parent_of = {}
@@ -317,11 +437,13 @@ class SegmentedEstimator:
                 )
             except SegmentTooWide:
                 continue
-            self._register_segment(segment, estimator, owned, parent_of)
+            registry.add(segment, estimator, owned, parent_of)
             return
         raise AssertionError("unexpanded enum chunk must fit its own budget")
 
-    def _boundary_tree_for(self, inputs: Sequence[str]) -> Dict[str, str]:
+    def _boundary_tree_for(
+        self, inputs: Sequence[str], registry: _SegmentRegistry
+    ) -> Dict[str, str]:
         """Spanning forest over segment inputs whose pairwise joints are
         available upstream, weighted by shared-fanin-cone size."""
         import itertools
@@ -329,16 +451,18 @@ class SegmentedEstimator:
         import networkx as nx
 
         by_provider: Dict[int, List[str]] = {}
+        providers: Dict[int, object] = {}
         for line in inputs:
-            provider = self._owner.get(line)
+            provider = registry.provider_of(line)
             if provider is not None:
-                by_provider.setdefault(provider, []).append(line)
+                by_provider.setdefault(id(provider), []).append(line)
+                providers[id(provider)] = provider
 
         graph = nx.Graph()
-        for provider, lines in by_provider.items():
+        for key, lines in by_provider.items():
             if len(lines) < 2:
                 continue
-            provider_estimator = self._segments[provider][1]
+            provider_estimator = providers[key]
             for a, b in itertools.combinations(lines, 2):
                 if self._provider_has_joint(provider_estimator, a, b):
                     weight = self._cone_overlap(a, b)
@@ -430,14 +554,16 @@ class SegmentedEstimator:
             frontier = next_frontier
         return expanded
 
-    def _compile_chunk(self, chunk: List[str], label: str, lookback: int) -> None:
+    def _compile_chunk(
+        self, chunk: List[str], label: str, lookback: int, registry: _SegmentRegistry
+    ) -> None:
         """Compile a chunk of gate-output lines, splitting on budget misses.
 
         On a budget miss the chunk is halved first (quarter-cost
         retriangulations, lookback accuracy kept); lookback is shed only
         once the chunk is too small to split usefully.  Finalized
-        segments append to ``self._segments`` in topological order so
-        downstream chunks can see their owners and junction trees.
+        segments register in topological order so downstream chunks can
+        see their owners and junction trees.
         """
         owned = set(chunk)
         expanded = self._expand_with_lookback(chunk, lookback)
@@ -450,7 +576,7 @@ class SegmentedEstimator:
         segment = self.circuit.subcircuit(lines, name=f"{self.circuit.name}.seg{label}")
         uniform = {name: np.full(N_STATES, 0.25) for name in segment.inputs}
         if self.boundary == "tree":
-            parent_of = self._boundary_tree_for(segment.inputs)
+            parent_of = self._boundary_tree_for(segment.inputs, registry)
             placeholder: InputModel = TreeBoundaryInputs(uniform, parent_of)
         else:
             parent_of = {}
@@ -476,63 +602,60 @@ class SegmentedEstimator:
                         max_input_states=self.enum_input_states,
                         keep_lines=owned,
                     )
-                    self._register_segment(segment, enum_estimator, owned, parent_of)
+                    registry.add(segment, enum_estimator, owned, parent_of)
                     return
                 except SegmentTooWide:
                     pass
             if len(chunk) > 8:
                 mid = len(chunk) // 2
-                self._compile_chunk(chunk[:mid], label + "a", lookback)
-                self._compile_chunk(chunk[mid:], label + "b", lookback)
+                self._compile_chunk(chunk[:mid], label + "a", lookback, registry)
+                self._compile_chunk(chunk[mid:], label + "b", lookback, registry)
                 return
             if lookback > 0:
-                self._compile_chunk(chunk, label, lookback - 1)
+                self._compile_chunk(chunk, label, lookback - 1, registry)
                 return
             if len(chunk) == 1:
                 raise
             mid = len(chunk) // 2
-            self._compile_chunk(chunk[:mid], label + "a", 0)
-            self._compile_chunk(chunk[mid:], label + "b", 0)
+            self._compile_chunk(chunk[:mid], label + "a", 0, registry)
+            self._compile_chunk(chunk[mid:], label + "b", 0, registry)
             return
-        self._register_segment(segment, estimator, owned, parent_of)
-
-    def _register_segment(self, segment, estimator, owned, parent_of) -> None:
-        segment_index = len(self._segments)
-        self._segments.append((segment, estimator, owned))
-        self._boundary_trees.append(parent_of)
-        for line in owned:
-            self._owner[line] = segment_index
+        registry.add(segment, estimator, owned, parent_of)
 
     # ------------------------------------------------------------------
 
     def estimate(self) -> SwitchingEstimate:
-        """Propagate marginals segment by segment in topological order."""
+        """Propagate marginals segment by segment in topological order.
+
+        With ``parallelism >= 2`` the segments propagate level-by-level
+        over the ownership DAG: all segments of a level run
+        concurrently (their inputs are fully published by lower
+        levels), and the published marginals merge between levels.
+        Each segment's computation sees exactly the inputs it would see
+        serially, so the results are identical.
+        """
         self.compile()
         start = time.perf_counter()
         known: Dict[str, np.ndarray] = {
             name: self.input_model.marginal_distribution(name)
             for name in self.circuit.inputs
         }
-        for index, (segment, estimator, owned) in enumerate(self._segments):
-            priors = {name: known[name] for name in segment.inputs}
-            parent_of = self._boundary_trees[index]
-            if parent_of:
-                conditionals = {
-                    child: self._boundary_conditional(child, parent, priors[child])
-                    for child, parent in parent_of.items()
-                }
-                boundary: InputModel = TreeBoundaryInputs(
-                    priors, parent_of, conditionals
-                )
-            else:
-                boundary = FixedMarginalInputs(priors)
-            estimator.update_inputs(boundary)
-            result = estimator.estimate()
-            # Only the owned chunk publishes estimates; duplicated
-            # lookback gates exist solely to rebuild local correlation.
-            for line in segment.internal_lines:
-                if line in owned:
-                    known[line] = result.distributions[line]
+        if self.parallelism > 1 and len(self._segments) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            levels = self._segment_levels()
+            with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+                for level in range(max(levels) + 1):
+                    members = [i for i, lv in enumerate(levels) if lv == level]
+                    published = pool.map(
+                        lambda index: self._propagate_segment(index, known),
+                        members,
+                    )
+                    for result in published:
+                        known.update(result)
+        else:
+            for index in range(len(self._segments)):
+                known.update(self._propagate_segment(index, known))
         propagate_seconds = time.perf_counter() - start
         return SwitchingEstimate(
             distributions=known,
@@ -541,6 +664,49 @@ class SegmentedEstimator:
             method="segmented" if len(self._segments) > 1 else "single-bn",
             segments=len(self._segments),
         )
+
+    def _propagate_segment(
+        self, index: int, known: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Refresh one segment's boundary inputs, propagate it, and
+        return the distributions of the lines it owns.
+
+        ``known`` is only read (the caller merges the return value), so
+        concurrent calls for independent segments are safe.
+        """
+        segment, estimator, owned = self._segments[index]
+        priors = {name: known[name] for name in segment.inputs}
+        parent_of = self._boundary_trees[index]
+        if parent_of:
+            conditionals = {
+                child: self._boundary_conditional(child, parent, priors[child])
+                for child, parent in parent_of.items()
+            }
+            boundary: InputModel = TreeBoundaryInputs(priors, parent_of, conditionals)
+        else:
+            boundary = FixedMarginalInputs(priors)
+        estimator.update_inputs(boundary)
+        result = estimator.estimate()
+        # Only the owned chunk publishes estimates; duplicated lookback
+        # gates exist solely to rebuild local correlation.
+        return {
+            line: result.distributions[line]
+            for line in segment.internal_lines
+            if line in owned
+        }
+
+    def _segment_levels(self) -> List[int]:
+        """Dependency level per compiled segment: a segment depends on
+        the owners of its boundary input lines."""
+        levels: List[int] = []
+        for index, (segment, _, _) in enumerate(self._segments):
+            deps = {
+                self._owner[line]
+                for line in segment.inputs
+                if line in self._owner and self._owner[line] != index
+            }
+            levels.append(1 + max((levels[d] for d in deps), default=-1))
+        return levels
 
     @staticmethod
     def _provider_has_joint(provider_estimator, a: str, b: str) -> bool:
