@@ -1,7 +1,7 @@
 """Propagation-engine benchmark: compile vs. propagate vs. marginal extraction.
 
-Emits ``BENCH_propagation.json`` -- the first datapoint of the perf
-trajectory.  The paper's headline claim is the *compile once,
+Emits ``BENCH_propagation.json`` (schema version 2) -- the perf
+trajectory datapoint.  The paper's headline claim is the *compile once,
 re-propagate in milliseconds* split; this runner times the three phases
 separately so regressions in any one of them are visible:
 
@@ -12,6 +12,14 @@ separately so regressions in any one of them are visible:
   path; this is the headline number),
 - ``marginal_extraction_seconds`` -- reading every line's 4-state
   marginal from an already calibrated tree (batched when available).
+
+Since schema version 2 every row also carries a ``breakdown`` section
+with the engine's structural work counters (messages passed, dirty
+cliques skipped versus repropagated, FLOP estimate, preallocated buffer
+bytes) read from the always-on :class:`PropagationCounters` -- timings
+can then be *explained*, not just compared.  The counters are plain
+integer adds inside the engine, so recording them does not perturb the
+timed phases.
 
 Usage::
 
@@ -43,6 +51,17 @@ DEFAULT_CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8", "c432s"]
 
 #: Input probabilities cycled through the repeat-propagation phase.
 SWEEP = [0.2, 0.35, 0.5, 0.65, 0.8]
+
+#: Bump when the emitted JSON shape changes (v2: added ``schema_version``
+#: and per-row ``breakdown`` with engine work counters).
+BENCH_SCHEMA_VERSION = 2
+
+
+def _counters(estimator) -> Dict[str, int]:
+    """Cumulative engine counters, tolerant of pre-engine checkouts."""
+    if hasattr(estimator, "propagation_counters"):
+        return estimator.propagation_counters().as_dict()
+    return {}
 
 
 def _extract_marginals(estimator, lines: List[str]) -> float:
@@ -88,6 +107,7 @@ def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object
     start = time.perf_counter()
     first = estimator.estimate()
     row["first_estimate_seconds"] = time.perf_counter() - start
+    after_first = _counters(estimator)
 
     cycle_seconds = []
     for i in range(repeats):
@@ -107,6 +127,31 @@ def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object
             estimator, list(circuit.lines)
         )
     row["mean_activity"] = first.mean_activity()
+
+    totals = _counters(estimator)
+    if totals:
+        # Repeat-phase deltas isolate the dirty-clique fast path: the
+        # skipped count is the work the engine *avoided* re-doing.
+        repeat_totals = {
+            key: totals[key] - after_first.get(key, 0) for key in totals
+        }
+        row["breakdown"] = {
+            "messages_passed": totals["messages"],
+            "cliques_repropagated": totals["cliques_repropagated"],
+            "cliques_skipped": totals["cliques_skipped"],
+            "flop_estimate": totals["flops"],
+            "factor_bytes": (
+                estimator.factor_bytes()
+                if hasattr(estimator, "factor_bytes")
+                else 0
+            ),
+            "repeat_phase": {
+                "messages_passed": repeat_totals["messages"],
+                "cliques_repropagated": repeat_totals["cliques_repropagated"],
+                "cliques_skipped": repeat_totals["cliques_skipped"],
+                "flop_estimate": repeat_totals["flops"],
+            },
+        }
     return row
 
 
@@ -142,6 +187,7 @@ def main(argv=None) -> int:
 
     report = {
         "benchmark": "propagation",
+        "schema_version": BENCH_SCHEMA_VERSION,
         "repeats": args.repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),

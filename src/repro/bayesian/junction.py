@@ -29,8 +29,14 @@ from repro.bayesian.cpd import TabularCPD
 from repro.bayesian.factor import Factor, factor_product
 from repro.bayesian.moral import moral_graph
 from repro.bayesian.network import BayesianNetwork
-from repro.bayesian.propagation import PropagationEngine, PropagationSchedule
+from repro.bayesian.propagation import (
+    PropagationCounters,
+    PropagationEngine,
+    PropagationSchedule,
+)
 from repro.bayesian.triangulate import elimination_cliques, triangulate
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 
 class JunctionTreeError(RuntimeError):
@@ -136,24 +142,50 @@ class JunctionTree:
             (:mod:`repro.bayesian.propagation`).  ``False`` selects the
             Factor-based reference path (slower; kept as an oracle).
         """
-        bn.validate()
-        moral = moral_graph(bn)
-        cards = {n: bn.cardinality(n) for n in bn.nodes}
-        chordal, order, fills = triangulate(
-            moral, order=elimination_order, heuristic=heuristic, cardinalities=cards
-        )
-        cliques = elimination_cliques(chordal, order)
-        if max_clique_states is not None:
-            from repro.bayesian.triangulate import max_clique_state_space
+        from repro.bayesian.triangulate import max_clique_state_space
 
-            worst = max_clique_state_space(cliques, cards)
-            if worst > max_clique_states:
+        tracer = get_tracer()
+        with tracer.span("compile.junction_tree", network=bn.name):
+            bn.validate()
+            with tracer.span("compile.moralize"):
+                moral = moral_graph(bn)
+            cards = {n: bn.cardinality(n) for n in bn.nodes}
+            with tracer.span("compile.triangulate", heuristic=heuristic) as sp:
+                chordal, order, fills = triangulate(
+                    moral,
+                    order=elimination_order,
+                    heuristic=heuristic,
+                    cardinalities=cards,
+                )
+                sp.annotate(fill_ins=len(fills))
+            with tracer.span("compile.cliques") as sp:
+                cliques = elimination_cliques(chordal, order)
+                worst = max_clique_state_space(cliques, cards)
+                sp.annotate(cliques=len(cliques), max_clique_states=worst)
+            if max_clique_states is not None and worst > max_clique_states:
                 raise CliqueBudgetExceeded(
                     f"{bn.name}: largest clique needs {worst} entries "
                     f"(budget {max_clique_states})"
                 )
-        tree = cls._build_tree(cliques)
-        return cls(bn, cliques, tree, order, fills, engine=engine)
+            # Gauges describe trees that actually get built; rejected
+            # triangulations stay visible via the span attributes above.
+            registry = get_metrics()
+            if registry.enabled:
+                total = 0
+                histogram = registry.histogram("compile.clique_states")
+                for clique in cliques:
+                    size = 1
+                    for node in clique:
+                        size *= cards.get(node, 2)
+                    histogram.observe(size)
+                    total += size
+                registry.counter("compile.fill_ins").inc(len(fills))
+                registry.gauge("jt.max_clique_states").set_max(worst)
+                registry.gauge("jt.total_states").add(total)
+            with tracer.span("compile.spanning_tree"):
+                tree = cls._build_tree(cliques)
+            with tracer.span("compile.potentials"):
+                return cls(bn, cliques, tree, order, fills, engine=engine)
 
     @staticmethod
     def _build_tree(cliques: List[frozenset]) -> nx.Graph:
@@ -322,12 +354,20 @@ class JunctionTree:
     def _calibrate_engine(self) -> None:
         """Propagate via the compiled schedule (built on first use)."""
         if self._engine is None:
-            schedule = PropagationSchedule(
-                self.cliques, self.tree.edges, self._cardinalities
-            )
-            self._engine = PropagationEngine(schedule)
-            for idx in range(len(self.cliques)):
-                self._engine.set_potential(idx, self._potentials[idx])
+            with get_tracer().span(
+                "compile.schedule", cliques=len(self.cliques)
+            ):
+                schedule = PropagationSchedule(
+                    self.cliques, self.tree.edges, self._cardinalities
+                )
+                self._engine = PropagationEngine(schedule)
+                for idx in range(len(self.cliques)):
+                    self._engine.set_potential(idx, self._potentials[idx])
+            registry = get_metrics()
+            if registry.enabled:
+                registry.gauge("engine.factor_bytes.peak").set_max(
+                    self._engine.factor_bytes
+                )
         self._engine.propagate()
         # Beliefs are views over the engine's preallocated buffers; the
         # Factor wrappers are stable across propagations.
@@ -455,6 +495,18 @@ class JunctionTree:
             if not mu.allclose(mv, atol=atol):
                 return False
         return True
+
+    def propagation_counters(self) -> PropagationCounters:
+        """Cumulative engine work counters (zeros before first calibration
+        or on the ``engine=False`` reference path)."""
+        if self._engine is not None:
+            return self._engine.counters
+        return PropagationCounters()
+
+    def engine_factor_bytes(self) -> int:
+        """Bytes held by the engine's preallocated belief/message/scratch
+        buffers (0 before first calibration or with ``engine=False``)."""
+        return self._engine.factor_bytes if self._engine is not None else 0
 
     def max_clique_size(self) -> int:
         """State-space size of the largest clique table."""

@@ -45,8 +45,54 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bayesian.factor import Factor
+from repro.obs.metrics import get_metrics
 
-__all__ = ["PropagationSchedule", "PropagationEngine"]
+__all__ = ["PropagationCounters", "PropagationSchedule", "PropagationEngine"]
+
+
+class PropagationCounters:
+    """Always-on work counters of one :class:`PropagationEngine`.
+
+    Plain integer adds per message -- negligible next to the einsum they
+    count -- so the engine can report its work (and benchmarks can emit
+    a breakdown) without the global metrics registry being enabled.
+    ``flops`` is the standard table-touch estimate: one unit per entry
+    of each clique table marginalized or multiplied.
+    """
+
+    __slots__ = (
+        "propagations",
+        "messages_collect",
+        "messages_distribute",
+        "cliques_repropagated",
+        "cliques_skipped",
+        "zero_resurrections",
+        "flops",
+    )
+
+    _FIELDS = __slots__
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    @property
+    def messages(self) -> int:
+        """Total directed messages computed (collect + distribute)."""
+        return self.messages_collect + self.messages_distribute
+
+    def as_dict(self) -> Dict[str, int]:
+        out = {field: getattr(self, field) for field in self._FIELDS}
+        out["messages"] = self.messages
+        return out
+
+    def add(self, other: "PropagationCounters") -> None:
+        """Accumulate another engine's counters (segment aggregation)."""
+        for field in self._FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
 
 
 class _Message:
@@ -116,6 +162,8 @@ class PropagationSchedule:
         self.shapes: List[Tuple[int, ...]] = [
             tuple(cardinalities[v] for v in order) for order in self.orders
         ]
+        #: table entries per clique (FLOP estimates, memory accounting)
+        self.sizes: List[int] = [int(np.prod(s)) if s else 1 for s in self.shapes]
 
         neighbors: List[List[int]] = [[] for _ in range(self.n_cliques)]
         for u, v in edges:
@@ -199,6 +247,16 @@ class PropagationEngine:
         }
         self._dirty: Set[int] = set(range(n))
         self._ever_propagated = False
+        #: always-on work counters (cheap int adds; see PropagationCounters)
+        self.counters = PropagationCounters()
+        #: counter totals already mirrored into the global registry
+        self._published: Dict[str, int] = {}
+        #: bytes held by the preallocated belief/message/scratch buffers
+        self.factor_bytes = (
+            sum(beta.nbytes for beta in self._beta)
+            + sum(msg.values.nbytes for msg in schedule.messages.values())
+            + sum(buf.nbytes for buf in self._scratch.values())
+        )
         #: Factor views over the belief buffers (stable identity; the
         #: arrays mutate in place across propagations)
         self._belief_factors: List[Factor] = [
@@ -252,6 +310,7 @@ class PropagationEngine:
             if self._ever_propagated
             else set(range(schedule.n_cliques))
         )
+        counters = self.counters
 
         # Which cliques rebuild during collect: a clique is up-dirty if
         # it is dirty itself or any child's upward message changed.
@@ -262,6 +321,9 @@ class PropagationEngine:
                     up[node] = True
                 if up[node] and parent is not None:
                     up[parent] = True
+        repropagated = sum(up)
+        counters.cliques_repropagated += repropagated
+        counters.cliques_skipped += schedule.n_cliques - repropagated
 
         # Collect: rebuild partial beliefs bottom-up, refresh upward
         # messages.  Clean subtrees are skipped -- their cached messages
@@ -279,6 +341,7 @@ class PropagationEngine:
                         message.values.reshape(message.expand_shape),
                         out=beta,
                     )
+                    counters.flops += schedule.sizes[node]
                 if parent is not None:
                     message = schedule.messages[(node, parent)]
                     np.einsum(
@@ -287,6 +350,8 @@ class PropagationEngine:
                         message.keep_axes,
                         out=message.values,
                     )
+                    counters.messages_collect += 1
+                    counters.flops += schedule.sizes[node]
 
         # Distribute: parent beliefs are complete when visited in
         # pre-order.  A changed parent belief refreshes the downward
@@ -306,12 +371,44 @@ class PropagationEngine:
 
         self._dirty.clear()
         self._ever_propagated = True
+        counters.propagations += 1
+        self._publish_metrics()
+
+    def _publish_metrics(self) -> None:
+        """Mirror cumulative counters into the global registry, if on.
+
+        Counters are always maintained locally; this just re-exports the
+        totals after each propagation so reports see live numbers.  One
+        guarded call per propagation -- nothing on the per-message path.
+        """
+        registry = get_metrics()
+        if not registry.enabled:
+            return
+        counters = self.counters
+        registry.counter("engine.propagations").inc(1)
+        for name, field in (
+            ("engine.messages", "messages"),
+            ("engine.messages_collect", "messages_collect"),
+            ("engine.messages_distribute", "messages_distribute"),
+            ("engine.cliques_repropagated", "cliques_repropagated"),
+            ("engine.cliques_skipped", "cliques_skipped"),
+            ("engine.zero_resurrections", "zero_resurrections"),
+            ("engine.flops", "flops"),
+        ):
+            total = getattr(counters, field)
+            published = self._published.get(name, 0)
+            registry.counter(name).inc(total - published)
+            self._published[name] = total
+        registry.gauge("engine.factor_bytes.peak").set_max(self.factor_bytes)
 
     def _absorb_from_parent(self, node: int, parent: int, rebuilt: bool) -> None:
         """Refresh the downward message parent -> node and absorb it."""
         schedule = self.schedule
         down = schedule.messages[(parent, node)]
         up_msg = schedule.messages[(node, parent)]
+        counters = self.counters
+        counters.messages_distribute += 1
+        counters.flops += schedule.sizes[parent] + schedule.sizes[node]
 
         # marg(parent belief) onto the separator, then divide by the
         # upward message.  Wherever the upward message is zero the
@@ -339,6 +436,7 @@ class PropagationEngine:
             # A zero separator entry came back to life (e.g. an input
             # probability moved off 0): the belief's zero slice cannot
             # be rescaled, so rebuild it from psi and cached messages.
+            counters.zero_resurrections += 1
             down.values[...] = ratio
             np.copyto(beta, self._psi[node])
             for child in schedule.children[node]:

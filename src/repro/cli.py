@@ -2,16 +2,24 @@
 
 Usage::
 
-    python -m repro.cli table1 [--circuits c17 alu ...] [--pairs N]
-    python -m repro.cli table2 [--circuits ...] [--pairs N]
+    python -m repro.cli table1 [--circuits c17 alu ...] [--pairs N] [--trace FILE]
+    python -m repro.cli table2 [--circuits ...] [--pairs N] [--trace FILE]
     python -m repro.cli figures
     python -m repro.cli ablations [--which triangulation|segmentation|compile|inputs]
-    python -m repro.cli estimate --circuit c17 [--p-one 0.5]
+    python -m repro.cli estimate --circuit c17 [--p-one 0.5] [--trace FILE]
+    python -m repro.cli stats --circuit c432s [--json out.json]
+
+``stats`` profiles one full compile + propagate + re-propagate cycle
+with the observability layer enabled and prints the span tree and
+metrics (optionally exporting the schema-versioned JSON report);
+``--trace FILE`` on the experiment subcommands writes the same report
+for a table run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.tables import format_table, rows_from_dicts
@@ -19,9 +27,32 @@ from repro.circuits import suite
 from repro.core.inputs import IndependentInputs
 
 
+def _write_trace(path: str, meta: dict) -> None:
+    """Export the enabled obs state as a validated JSON report."""
+    from repro import obs
+
+    report = obs.validate_report(obs.build_report(meta=meta))
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote trace report to {path}")
+
+
+def _maybe_traced(args, command: str):
+    """Enable obs when ``--trace`` was given; return a finalizer."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return lambda: None
+    from repro import obs
+
+    obs.enable()
+    return lambda: _write_trace(trace_path, {"command": command})
+
+
 def _cmd_table1(args) -> None:
     from repro.experiments.table1 import TABLE1_COLUMNS, run_table1
 
+    finish = _maybe_traced(args, "table1")
     rows = run_table1(args.circuits, n_pairs=args.pairs, seed=args.seed)
     print(
         format_table(
@@ -30,11 +61,13 @@ def _cmd_table1(args) -> None:
             title="Table 1: switching activity estimation by Bayesian network modeling",
         )
     )
+    finish()
 
 
 def _cmd_table2(args) -> None:
     from repro.experiments.table2 import TABLE2_COLUMNS, run_table2
 
+    finish = _maybe_traced(args, "table2")
     rows = run_table2(args.circuits, n_pairs=args.pairs, seed=args.seed)
     print(
         format_table(
@@ -43,6 +76,7 @@ def _cmd_table2(args) -> None:
             title="Table 2: BN vs approximate dependency models",
         )
     )
+    finish()
 
 
 def _cmd_figures(_args) -> None:
@@ -103,6 +137,7 @@ def _cmd_ablations(args) -> None:
 def _cmd_estimate(args) -> None:
     from repro.experiments.table1 import make_estimator
 
+    finish = _maybe_traced(args, "estimate")
     circuit = suite.load_circuit(args.circuit)
     estimator = make_estimator(circuit, IndependentInputs(args.p_one))
     result = estimator.estimate()
@@ -119,6 +154,52 @@ def _cmd_estimate(args) -> None:
             title="Primary-output switching activity",
         )
     )
+    finish()
+
+
+def _cmd_stats(args) -> None:
+    """Profile one compile + propagate + re-propagate cycle.
+
+    The second estimate runs with fresh input statistics so the
+    dirty-clique fast path (skipped versus repropagated cliques) shows
+    up in the counters -- the paper's asymmetric cost claim, measured.
+    """
+    from repro import obs
+    from repro.experiments.table1 import make_estimator
+
+    obs.enable()
+    tracer = obs.get_tracer()
+    circuit = suite.load_circuit(args.circuit)
+    with tracer.span("stats.run", circuit=args.circuit):
+        estimator = make_estimator(circuit, IndependentInputs(args.p_one))
+        result = estimator.estimate()
+        if hasattr(estimator, "update_inputs"):
+            estimator.update_inputs(IndependentInputs(args.repropagate_p_one))
+        else:
+            estimator.input_model = IndependentInputs(args.repropagate_p_one)
+        repeat = estimator.estimate()
+    report = obs.build_report(
+        meta={
+            "command": "stats",
+            "circuit": args.circuit,
+            "gates": circuit.num_gates,
+            "segments": repeat.segments,
+            "mean_activity": repeat.mean_activity(),
+        }
+    )
+    obs.validate_report(report)
+    obs.check_span_containment(report)
+    print(obs.render_report(report))
+    print(
+        f"compile {result.compile_seconds:.3f}s, "
+        f"first propagate {result.propagate_seconds:.3f}s, "
+        f"re-propagate {repeat.propagate_seconds:.3f}s"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,12 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     p1.add_argument("--circuits", nargs="*", default=None, choices=suite.FULL_SUITE)
     p1.add_argument("--pairs", type=int, default=100_000)
     p1.add_argument("--seed", type=int, default=0)
+    p1.add_argument("--trace", default=None, metavar="FILE",
+                    help="write an obs JSON report of the run")
     p1.set_defaults(func=_cmd_table1)
 
     p2 = sub.add_parser("table2", help="BN vs approximate dependency models")
     p2.add_argument("--circuits", nargs="*", default=None, choices=suite.FULL_SUITE)
     p2.add_argument("--pairs", type=int, default=100_000)
     p2.add_argument("--seed", type=int, default=0)
+    p2.add_argument("--trace", default=None, metavar="FILE",
+                    help="write an obs JSON report of the run")
     p2.set_defaults(func=_cmd_table2)
 
     pf = sub.add_parser("figures", help="Figures 1-4 walkthrough")
@@ -153,7 +238,22 @@ def build_parser() -> argparse.ArgumentParser:
     pe = sub.add_parser("estimate", help="estimate one suite circuit")
     pe.add_argument("--circuit", required=True, choices=suite.FULL_SUITE)
     pe.add_argument("--p-one", type=float, default=0.5)
+    pe.add_argument("--trace", default=None, metavar="FILE",
+                    help="write an obs JSON report of the run")
     pe.set_defaults(func=_cmd_estimate)
+
+    ps = sub.add_parser(
+        "stats", help="profile compile/propagate with the obs layer"
+    )
+    ps.add_argument("--circuit", required=True, choices=suite.FULL_SUITE)
+    ps.add_argument("--p-one", type=float, default=0.5)
+    ps.add_argument(
+        "--repropagate-p-one", type=float, default=0.3,
+        help="input probability for the re-propagation pass",
+    )
+    ps.add_argument("--json", default=None, metavar="FILE",
+                    help="also write the JSON report here")
+    ps.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -19,18 +19,19 @@ to prove exactness on small circuits.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.bayesian.junction import JunctionTree
+from repro.bayesian.propagation import PropagationCounters
 from repro.circuits.netlist import Circuit
 from repro.core.cpt import output_transition
 from repro.core.inputs import IndependentInputs, InputModel
 from repro.core.lidag import build_lidag
 from repro.core.states import N_STATES, switching_probability
+from repro.obs.trace import get_tracer
 
 
 # Raised before any large table is materialized; callers should fall
@@ -111,14 +112,16 @@ class SwitchingActivityEstimator:
         """Build the LIDAG and its junction tree (idempotent)."""
         if self._jt is not None:
             return self
-        start = time.perf_counter()
-        self._bn = build_lidag(self.circuit, self.input_model)
-        self._jt = JunctionTree.from_network(
-            self._bn,
-            heuristic=self.heuristic,
-            max_clique_states=self.max_clique_states,
-        )
-        self.compile_seconds = time.perf_counter() - start
+        with get_tracer().span(
+            "estimator.compile", circuit=self.circuit.name
+        ) as span:
+            self._bn = build_lidag(self.circuit, self.input_model)
+            self._jt = JunctionTree.from_network(
+                self._bn,
+                heuristic=self.heuristic,
+                max_clique_states=self.max_clique_states,
+            )
+        self.compile_seconds = span.duration
         return self
 
     @property
@@ -144,18 +147,32 @@ class SwitchingActivityEstimator:
     def estimate(self) -> SwitchingEstimate:
         """Calibrate and return every line's transition distribution."""
         self.compile()
-        start = time.perf_counter()
-        self._jt.calibrate()
-        # One batched sweep reads every line's marginal, grouped by home
-        # clique, instead of one marginalization per line.
-        batched = self._jt.marginals(list(self.circuit.lines))
-        distributions = {line: batched[line] for line in self.circuit.lines}
-        propagate_seconds = time.perf_counter() - start
+        tracer = get_tracer()
+        with tracer.span("estimator.propagate", circuit=self.circuit.name) as span:
+            with tracer.span("propagate.calibrate"):
+                self._jt.calibrate()
+            # One batched sweep reads every line's marginal, grouped by
+            # home clique, instead of one marginalization per line.
+            with tracer.span("propagate.marginals", lines=len(self.circuit.lines)):
+                batched = self._jt.marginals(list(self.circuit.lines))
+                distributions = {
+                    line: batched[line] for line in self.circuit.lines
+                }
         return SwitchingEstimate(
             distributions=distributions,
             compile_seconds=self.compile_seconds,
-            propagate_seconds=propagate_seconds,
+            propagate_seconds=span.duration,
         )
+
+    def propagation_counters(self) -> PropagationCounters:
+        """Cumulative engine work counters for this estimator's tree."""
+        if self._jt is None:
+            return PropagationCounters()
+        return self._jt.propagation_counters()
+
+    def factor_bytes(self) -> int:
+        """Bytes of preallocated propagation buffers (memory accounting)."""
+        return self._jt.engine_factor_bytes() if self._jt is not None else 0
 
     def line_distribution(self, line: str) -> np.ndarray:
         """Convenience: one line's 4-state marginal."""

@@ -26,6 +26,7 @@ from repro.bayesian.network import BayesianNetwork
 from repro.circuits.netlist import Circuit
 from repro.core.cpt import gate_transition_cpd
 from repro.core.inputs import IndependentInputs, InputModel
+from repro.obs.trace import get_tracer
 
 
 def build_lidag(
@@ -47,15 +48,18 @@ def build_lidag(
     line names, each a 4-state transition variable.
     """
     model = input_model if input_model is not None else IndependentInputs(0.5)
-    bn = BayesianNetwork(f"lidag-{circuit.name}")
-    for cpd in model.input_cpds(circuit.inputs):
-        bn.add_cpd(cpd)
-    for line in circuit.topological_order():
-        gate = circuit.driver(line)
-        if gate is not None:
-            bn.add_cpd(gate_transition_cpd(gate))
-    bn.validate()
-    return bn
+    with get_tracer().span(
+        "compile.lidag", circuit=circuit.name, gates=circuit.num_gates
+    ):
+        bn = BayesianNetwork(f"lidag-{circuit.name}")
+        for cpd in model.input_cpds(circuit.inputs):
+            bn.add_cpd(cpd)
+        for line in circuit.topological_order():
+            gate = circuit.driver(line)
+            if gate is not None:
+                bn.add_cpd(gate_transition_cpd(gate))
+        bn.validate()
+        return bn
 
 
 def lidag_node_ordering(circuit: Circuit) -> List[str]:

@@ -15,12 +15,12 @@ benchmarks.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bayesian.cpd import TabularCPD
+from repro.bayesian.propagation import PropagationCounters
 from repro.circuits.netlist import Circuit
 from repro.core.estimator import (
     CliqueBudgetExceeded,
@@ -29,6 +29,8 @@ from repro.core.estimator import (
 )
 from repro.core.inputs import IndependentInputs, InputModel
 from repro.core.states import N_STATES, current_values, previous_values
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 
 class FixedMarginalInputs(InputModel):
@@ -274,32 +276,40 @@ class SegmentedEstimator:
         """Partition the circuit and compile one junction tree per segment."""
         if self._segments:
             return self
-        start = time.perf_counter()
-        internal = self._cone_clustered_order()
-        self._position = {
-            ln: i for i, ln in enumerate(self.circuit.topological_order())
-        }
-        self._cone_cache: Dict[str, frozenset] = {}
-        if self.backend == "enum":
-            chunks = self._partition_by_inputs(internal)
-            compile_fn = self._compile_enum_chunk
-        else:
-            chunks = [
-                internal[i : i + self.max_gates_per_segment]
-                for i in range(0, len(internal), self.max_gates_per_segment)
-            ]
-            compile_fn = lambda chunk, label, registry: self._compile_chunk(  # noqa: E731
-                chunk, label, self.lookback, registry
-            )
-        registry = _SegmentRegistry()
-        if self.parallelism > 1 and len(chunks) > 1:
-            records = self._compile_chunks_parallel(chunks, compile_fn, registry)
-        else:
-            for index, chunk in enumerate(chunks):
-                compile_fn(chunk, f"{index}", registry)
-            records = registry.records
-        self._finalize_segments(records)
-        self.compile_seconds = time.perf_counter() - start
+        with get_tracer().span(
+            "segmented.compile",
+            circuit=self.circuit.name,
+            parallelism=self.parallelism,
+        ) as span:
+            internal = self._cone_clustered_order()
+            self._position = {
+                ln: i for i, ln in enumerate(self.circuit.topological_order())
+            }
+            self._cone_cache: Dict[str, frozenset] = {}
+            if self.backend == "enum":
+                chunks = self._partition_by_inputs(internal)
+                compile_fn = self._compile_enum_chunk
+            else:
+                chunks = [
+                    internal[i : i + self.max_gates_per_segment]
+                    for i in range(0, len(internal), self.max_gates_per_segment)
+                ]
+                compile_fn = lambda chunk, label, registry: self._compile_chunk(  # noqa: E731
+                    chunk, label, self.lookback, registry
+                )
+            registry = _SegmentRegistry()
+            if self.parallelism > 1 and len(chunks) > 1:
+                records = self._compile_chunks_parallel(chunks, compile_fn, registry)
+            else:
+                for index, chunk in enumerate(chunks):
+                    compile_fn(chunk, f"{index}", registry)
+                records = registry.records
+            self._finalize_segments(records)
+            span.annotate(segments=len(self._segments))
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.gauge("segmented.segments").set(len(self._segments))
+        self.compile_seconds = span.duration
         return self
 
     def _finalize_segments(self, records) -> None:
@@ -350,25 +360,40 @@ class SegmentedEstimator:
         """
         from concurrent.futures import ThreadPoolExecutor
 
+        tracer = get_tracer()
         levels = self._chunk_levels(chunks)
         staged: List[Optional[_SegmentRegistry]] = [None] * len(chunks)
         with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
             for level in range(max(levels) + 1):
                 members = [i for i, lv in enumerate(levels) if lv == level]
-                futures = []
-                for index in members:
-                    staged[index] = _SegmentRegistry(base=registry)
-                    futures.append(
-                        pool.submit(
-                            compile_fn, chunks[index], f"{index}", staged[index]
+                with tracer.span(
+                    "segmented.compile.level", level=level, chunks=len(members)
+                ) as level_span:
+                    futures = []
+                    for index in members:
+                        staged[index] = _SegmentRegistry(base=registry)
+                        futures.append(
+                            pool.submit(
+                                self._compile_chunk_traced,
+                                compile_fn,
+                                chunks[index],
+                                f"{index}",
+                                staged[index],
+                                level_span,
+                            )
                         )
-                    )
-                for future in futures:
-                    future.result()
-                for index in members:
-                    for record in staged[index].records:
-                        registry.add(*record)
+                    for future in futures:
+                        future.result()
+                    for index in members:
+                        for record in staged[index].records:
+                            registry.add(*record)
         return [record for reg in staged for record in reg.records]
+
+    def _compile_chunk_traced(self, compile_fn, chunk, label, registry, parent):
+        """Run one chunk compile on a worker thread, nesting its spans
+        under the level span owned by the coordinating thread."""
+        with get_tracer().span("segment.compile", parent=parent, chunk=label):
+            compile_fn(chunk, label, registry)
 
     def _partition_by_inputs(self, order: List[str]) -> List[List[str]]:
         """Greedy cone-order partition bounded by external-input count.
@@ -635,58 +660,83 @@ class SegmentedEstimator:
         serially, so the results are identical.
         """
         self.compile()
-        start = time.perf_counter()
-        known: Dict[str, np.ndarray] = {
-            name: self.input_model.marginal_distribution(name)
-            for name in self.circuit.inputs
-        }
-        if self.parallelism > 1 and len(self._segments) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        tracer = get_tracer()
+        with tracer.span(
+            "segmented.propagate",
+            circuit=self.circuit.name,
+            segments=len(self._segments),
+        ) as span:
+            known: Dict[str, np.ndarray] = {
+                name: self.input_model.marginal_distribution(name)
+                for name in self.circuit.inputs
+            }
+            if self.parallelism > 1 and len(self._segments) > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            levels = self._segment_levels()
-            with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-                for level in range(max(levels) + 1):
-                    members = [i for i, lv in enumerate(levels) if lv == level]
-                    published = pool.map(
-                        lambda index: self._propagate_segment(index, known),
-                        members,
-                    )
-                    for result in published:
-                        known.update(result)
-        else:
-            for index in range(len(self._segments)):
-                known.update(self._propagate_segment(index, known))
-        propagate_seconds = time.perf_counter() - start
+                levels = self._segment_levels()
+                with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+                    for level in range(max(levels) + 1):
+                        members = [
+                            i for i, lv in enumerate(levels) if lv == level
+                        ]
+                        with tracer.span(
+                            "segmented.propagate.level",
+                            level=level,
+                            segments=len(members),
+                        ) as level_span:
+                            published = pool.map(
+                                lambda index: self._propagate_segment(
+                                    index, known, parent_span=level_span
+                                ),
+                                members,
+                            )
+                            for result in published:
+                                known.update(result)
+            else:
+                for index in range(len(self._segments)):
+                    known.update(self._propagate_segment(index, known))
         return SwitchingEstimate(
             distributions=known,
             compile_seconds=self.compile_seconds,
-            propagate_seconds=propagate_seconds,
+            propagate_seconds=span.duration,
             method="segmented" if len(self._segments) > 1 else "single-bn",
             segments=len(self._segments),
         )
 
     def _propagate_segment(
-        self, index: int, known: Dict[str, np.ndarray]
+        self,
+        index: int,
+        known: Dict[str, np.ndarray],
+        parent_span=None,
     ) -> Dict[str, np.ndarray]:
         """Refresh one segment's boundary inputs, propagate it, and
         return the distributions of the lines it owns.
 
         ``known`` is only read (the caller merges the return value), so
         concurrent calls for independent segments are safe.
+        ``parent_span`` nests this segment's span under the level span
+        when running on a worker thread.
         """
         segment, estimator, owned = self._segments[index]
-        priors = {name: known[name] for name in segment.inputs}
-        parent_of = self._boundary_trees[index]
-        if parent_of:
-            conditionals = {
-                child: self._boundary_conditional(child, parent, priors[child])
-                for child, parent in parent_of.items()
-            }
-            boundary: InputModel = TreeBoundaryInputs(priors, parent_of, conditionals)
-        else:
-            boundary = FixedMarginalInputs(priors)
-        estimator.update_inputs(boundary)
-        result = estimator.estimate()
+        with get_tracer().span(
+            "segment.propagate", parent=parent_span, segment=segment.name
+        ):
+            priors = {name: known[name] for name in segment.inputs}
+            parent_of = self._boundary_trees[index]
+            if parent_of:
+                conditionals = {
+                    child: self._boundary_conditional(
+                        child, parent, priors[child]
+                    )
+                    for child, parent in parent_of.items()
+                }
+                boundary: InputModel = TreeBoundaryInputs(
+                    priors, parent_of, conditionals
+                )
+            else:
+                boundary = FixedMarginalInputs(priors)
+            estimator.update_inputs(boundary)
+            result = estimator.estimate()
         # Only the owned chunk publishes estimates; duplicated lookback
         # gates exist solely to rebuild local correlation.
         return {
@@ -743,6 +793,26 @@ class SegmentedEstimator:
     def num_segments(self) -> int:
         self.compile()
         return len(self._segments)
+
+    def propagation_counters(self) -> PropagationCounters:
+        """Engine work counters summed over every junction-tree segment.
+
+        Enumeration segments do no message passing and contribute
+        nothing; before :meth:`compile` the totals are all zero.
+        """
+        totals = PropagationCounters()
+        for _, estimator, _ in self._segments:
+            if isinstance(estimator, SwitchingActivityEstimator):
+                totals.add(estimator.propagation_counters())
+        return totals
+
+    def factor_bytes(self) -> int:
+        """Preallocated propagation-buffer bytes summed over segments."""
+        return sum(
+            estimator.factor_bytes()
+            for _, estimator, _ in self._segments
+            if isinstance(estimator, SwitchingActivityEstimator)
+        )
 
     def segment_stats(self) -> List[Dict[str, float]]:
         """Junction-tree statistics per segment (for reports/ablations)."""

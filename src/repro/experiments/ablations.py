@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -15,6 +14,7 @@ from repro.core.inputs import IndependentInputs, TemporalInputs
 from repro.core.lidag import build_lidag
 from repro.core.segmentation import SegmentedEstimator
 from repro.experiments.table1 import make_estimator
+from repro.obs.trace import get_tracer
 
 
 def ablate_triangulation(
@@ -27,9 +27,11 @@ def ablate_triangulation(
         circuit = suite.load_circuit(name)
         bn = build_lidag(circuit)
         for heuristic in ("min_fill", "min_degree"):
-            start = time.perf_counter()
-            jt = JunctionTree.from_network(bn, heuristic=heuristic)
-            seconds = time.perf_counter() - start
+            with get_tracer().span(
+                "ablation.triangulation", circuit=name, heuristic=heuristic
+            ) as span:
+                jt = JunctionTree.from_network(bn, heuristic=heuristic)
+            seconds = span.duration
             stats = jt.stats()
             rows.append(
                 {
@@ -115,9 +117,11 @@ def ablate_compile_vs_propagate(
                 estimator.update_inputs(IndependentInputs(p))
             else:
                 estimator.input_model = IndependentInputs(p)
-            start = time.perf_counter()
-            estimator.estimate()
-            propagate_times.append(time.perf_counter() - start)
+            with get_tracer().span(
+                "ablation.repropagate", circuit=name, p_one=p
+            ) as span:
+                estimator.estimate()
+            propagate_times.append(span.duration)
         rows.append(
             {
                 "circuit": name,

@@ -15,7 +15,6 @@ For each circuit, the experiment
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -27,6 +26,7 @@ from repro.circuits.netlist import Circuit
 from repro.core.estimator import CliqueBudgetExceeded, SwitchingActivityEstimator
 from repro.core.inputs import IndependentInputs, InputModel
 from repro.core.segmentation import SegmentedEstimator
+from repro.obs.trace import get_tracer
 
 
 def make_estimator(
@@ -82,9 +82,9 @@ def table1_row(
 
     # Re-propagation with fresh statistics measures the paper's "update"
     # time: everything after compilation.
-    start = time.perf_counter()
-    repeat = estimator.estimate()
-    update_seconds = time.perf_counter() - start
+    with get_tracer().span("table1.update", circuit=name) as span:
+        repeat = estimator.estimate()
+    update_seconds = span.duration
 
     sim = simulate_switching(
         circuit, model, n_pairs=n_pairs, rng=np.random.default_rng(seed)

@@ -21,7 +21,6 @@ better runtime.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.baselines.simulation import simulate_switching
 from repro.circuits import suite
 from repro.core.inputs import IndependentInputs, InputModel
 from repro.experiments.table1 import make_estimator
+from repro.obs.trace import get_tracer
 
 #: Table 2 circuits: the c-series subset the paper uses.
 DEFAULT_TABLE2_CIRCUITS = [
@@ -47,38 +47,28 @@ DEFAULT_TABLE2_CIRCUITS = [
 
 
 def _method_rows(name, circuit, sim_acts, model) -> List[Dict[str, float]]:
+    tracer = get_tracer()
     rows = []
 
-    start = time.perf_counter()
-    estimator = make_estimator(circuit, model)
-    result = estimator.estimate()
-    bn_seconds = time.perf_counter() - start
+    with tracer.span("table2.method", circuit=name, method="bayesian-network") as sp:
+        estimator = make_estimator(circuit, model)
+        result = estimator.estimate()
     rows.append(
-        _row(name, "bayesian-network", result.activities, sim_acts, bn_seconds)
+        _row(name, "bayesian-network", result.activities, sim_acts, sp.duration)
     )
 
-    start = time.perf_counter()
-    pw = pairwise_switching(circuit, model)
-    rows.append(
-        _row(name, "pairwise", pw.activities, sim_acts, time.perf_counter() - start)
-    )
+    with tracer.span("table2.method", circuit=name, method="pairwise") as sp:
+        pw = pairwise_switching(circuit, model)
+    rows.append(_row(name, "pairwise", pw.activities, sim_acts, sp.duration))
 
-    start = time.perf_counter()
-    cone = local_cone_switching(circuit, model, depth=3, max_cut_inputs=6)
-    rows.append(
-        _row(name, "local-cone", cone.activities, sim_acts, time.perf_counter() - start)
-    )
+    with tracer.span("table2.method", circuit=name, method="local-cone") as sp:
+        cone = local_cone_switching(circuit, model, depth=3, max_cut_inputs=6)
+    rows.append(_row(name, "local-cone", cone.activities, sim_acts, sp.duration))
 
-    start = time.perf_counter()
-    indep = independence_switching(circuit, model)
+    with tracer.span("table2.method", circuit=name, method="independence") as sp:
+        indep = independence_switching(circuit, model)
     rows.append(
-        _row(
-            name,
-            "independence",
-            indep.activities,
-            sim_acts,
-            time.perf_counter() - start,
-        )
+        _row(name, "independence", indep.activities, sim_acts, sp.duration)
     )
     return rows
 

@@ -1,0 +1,90 @@
+"""Zero-dependency instrumentation: tracing spans, metrics, reports.
+
+Everything is off by default -- the instrumented pipeline pays ~nothing
+until a caller opts in::
+
+    from repro import obs
+
+    obs.enable()                      # tracer + metrics, fresh state
+    estimator.estimate()
+    report = obs.build_report(meta={"circuit": "c432s"})
+    print(obs.render_report(report))
+    obs.disable()
+
+See :mod:`repro.obs.trace` (spans), :mod:`repro.obs.metrics`
+(counters/gauges/histograms) and :mod:`repro.obs.report` (versioned
+JSON export + human rendering).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    build_report,
+    check_span_containment,
+    render_report,
+    validate_report,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "build_report",
+    "check_span_containment",
+    "render_report",
+    "validate_report",
+    "get_tracer",
+    "set_tracer",
+    "get_metrics",
+    "set_metrics",
+    "enable",
+    "disable",
+    "reset",
+    "enable_tracing",
+    "disable_tracing",
+    "enable_metrics",
+    "disable_metrics",
+]
+
+
+def enable(reset: bool = True) -> None:
+    """Turn on the global tracer and metrics registry together."""
+    enable_tracing(reset=reset)
+    enable_metrics(reset=reset)
+
+
+def disable() -> None:
+    """Turn both off (recorded data is kept until :func:`reset`)."""
+    disable_tracing()
+    disable_metrics()
+
+
+def reset() -> None:
+    """Clear recorded spans and instruments without changing state."""
+    get_tracer().reset()
+    get_metrics().reset()

@@ -1,0 +1,148 @@
+"""Tests for counters, gauges and histograms."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_metrics(fresh)
+    try:
+        yield fresh
+    finally:
+        set_metrics(previous)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_value() == 5
+
+    def test_zero_inc_allowed(self):
+        c = Counter("n")
+        c.inc(0)
+        assert c.value == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="Gauge"):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("g")
+        g.set(7.0)
+        g.set(3.0)
+        assert g.value == 3.0
+
+    def test_set_max_keeps_peak(self):
+        g = Gauge("g")
+        g.set_max(5.0)
+        g.set_max(2.0)
+        g.set_max(9.0)
+        assert g.value == 9.0
+
+    def test_add_accumulates(self):
+        g = Gauge("g")
+        g.add(2.5)
+        g.add(1.5)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_running_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        stats = h.to_value()
+        assert stats == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_empty_export(self):
+        assert Histogram("h").to_value() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_disabled_returns_null(self, registry):
+        registry.disable()
+        null = registry.counter("a")
+        assert null is registry.gauge("b")
+        assert null is registry.histogram("c")
+        # Every mutator is a no-op; nothing is created.
+        null.inc()
+        null.set(1.0)
+        null.set_max(2.0)
+        null.add(3.0)
+        null.observe(4.0)
+        registry.enable()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_snapshot_sorted_and_json_ready(self, registry):
+        registry.counter("z.last").inc(1)
+        registry.counter("a.first").inc(2)
+        registry.gauge("mid").set(3.5)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        assert snap["gauges"] == {"mid": 3.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_instruments(self, registry):
+        registry.counter("n").inc(9)
+        registry.reset()
+        assert registry.counter("n").value == 0
+
+    def test_threaded_counter_aggregation(self, registry):
+        counter = registry.counter("shared")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGlobalSwitches:
+    def test_enable_disable_round_trip(self):
+        previous = set_metrics(MetricsRegistry(enabled=False))
+        try:
+            assert get_metrics().counter("x").name == ""  # null instrument
+            enable_metrics()
+            get_metrics().counter("x").inc(2)
+            disable_metrics()
+            get_metrics().counter("x").inc(5)  # dropped: registry off
+            enable_metrics(reset=False)
+            assert get_metrics().counter("x").value == 2
+            enable_metrics(reset=True)
+            assert get_metrics().counter("x").value == 0
+        finally:
+            set_metrics(previous)

@@ -1,0 +1,122 @@
+"""Tests for the versioned JSON report and its validators."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    build_report,
+    check_span_containment,
+    render_report,
+    validate_report,
+)
+from repro.obs.trace import Tracer
+
+
+def _sample_report():
+    tracer = Tracer(enabled=True)
+    metrics = MetricsRegistry(enabled=True)
+    with tracer.span("run", circuit="c17"):
+        with tracer.span("compile"):
+            pass
+        with tracer.span("propagate"):
+            metrics.counter("engine.messages").inc(30)
+    metrics.gauge("jt.max_clique_states").set_max(64)
+    metrics.histogram("compile.clique_states").observe(16.0)
+    return build_report(tracer=tracer, metrics=metrics, meta={"circuit": "c17"})
+
+
+class TestBuildAndValidate:
+    def test_build_shape(self):
+        report = _sample_report()
+        assert report["schema"] == SCHEMA
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["meta"] == {"circuit": "c17"}
+        assert report["spans"][0]["name"] == "run"
+        assert report["metrics"]["counters"]["engine.messages"] == 30
+
+    def test_validate_returns_report(self):
+        report = _sample_report()
+        assert validate_report(report) is report
+
+    def test_json_round_trip(self):
+        report = _sample_report()
+        revived = json.loads(json.dumps(report))
+        assert validate_report(revived) == report
+        check_span_containment(revived)
+
+    def test_containment_holds(self):
+        check_span_containment(_sample_report())
+
+    def test_empty_run_is_valid(self):
+        report = build_report(
+            tracer=Tracer(enabled=True), metrics=MetricsRegistry(enabled=True)
+        )
+        validate_report(report)
+        assert report["spans"] == []
+
+
+class TestValidationFailures:
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda r: r.update(schema="other/v9"), "schema is"),
+            (lambda r: r.update(schema_version=99), "schema_version"),
+            (lambda r: r.update(meta=None), "meta"),
+            (lambda r: r.update(spans={}), "spans"),
+            (lambda r: r["spans"][0].pop("duration"), "missing 'duration'"),
+            (lambda r: r["spans"][0].update(duration=-1.0), "negative"),
+            (
+                lambda r: r["spans"][0]["children"][0].update(name=7),
+                r"children\[0\].name",
+            ),
+            (lambda r: r["metrics"].pop("gauges"), "metrics.gauges"),
+            (
+                lambda r: r["metrics"]["counters"].update({"bad": "x"}),
+                "not numeric",
+            ),
+            (
+                lambda r: r["metrics"]["histograms"].update({"h": {"count": 1}}),
+                "wrong keys",
+            ),
+        ],
+    )
+    def test_drift_raises(self, mutate, message):
+        report = _sample_report()
+        mutate(report)
+        with pytest.raises(ValueError, match=message):
+            validate_report(report)
+
+    def test_containment_violation_raises(self):
+        report = _sample_report()
+        bad = copy.deepcopy(report)
+        child = bad["spans"][0]["children"][0]
+        child["start"] = bad["spans"][0]["start"] - 1.0
+        with pytest.raises(ValueError, match="starts before"):
+            check_span_containment(bad)
+        bad = copy.deepcopy(report)
+        child = bad["spans"][0]["children"][0]
+        child["duration"] = bad["spans"][0]["duration"] + 1.0
+        with pytest.raises(ValueError, match="ends after"):
+            check_span_containment(bad)
+
+
+class TestRendering:
+    def test_render_mentions_everything(self):
+        text = render_report(_sample_report())
+        assert "circuit=c17" in text
+        assert "run" in text and "compile" in text and "propagate" in text
+        assert "engine.messages" in text
+        assert "jt.max_clique_states" in text
+        assert "compile.clique_states" in text
+        assert "ms" in text
+
+    def test_render_empty_report(self):
+        report = build_report(
+            tracer=Tracer(enabled=True), metrics=MetricsRegistry(enabled=True)
+        )
+        assert render_report(report).strip() == ""

@@ -1,0 +1,196 @@
+"""Tests for the tracing-span half of the observability layer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    """Fresh enabled tracer installed as the process global, restored after."""
+    fresh = Tracer(enabled=True)
+    previous = set_tracer(fresh)
+    try:
+        yield fresh
+    finally:
+        set_tracer(previous)
+
+
+class TestSpanNesting:
+    def test_single_root(self, tracer):
+        with tracer.span("root", circuit="c17") as span:
+            pass
+        assert span.name == "root"
+        assert span.attributes == {"circuit": "c17"}
+        assert tracer.roots == [span]
+
+    def test_children_nest_under_innermost(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["mid", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["inner"]
+
+    def test_sequential_roots(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_duration_measured(self, tracer):
+        with tracer.span("sleepy") as span:
+            time.sleep(0.01)
+        assert span.duration >= 0.005
+        assert span.end >= span.start
+
+    def test_current_span(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("open") as span:
+            assert tracer.current_span() is span
+        assert tracer.current_span() is None
+
+    def test_annotate_after_open(self, tracer):
+        with tracer.span("work") as span:
+            span.annotate(fill_ins=3)
+        assert span.attributes["fill_ins"] == 3
+
+    def test_find_depth_first(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert tracer.find("missing") == []
+
+    def test_reset_drops_roots(self, tracer):
+        with tracer.span("old"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestExceptionSafety:
+    def test_span_closes_and_annotates_on_raise(self, tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("fallible"):
+                raise RuntimeError("boom")
+        (span,) = tracer.roots
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.end > 0
+
+    def test_stack_unwinds_after_raise(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError()
+        # A new span after the raise is a fresh root, not a stale child.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "after"]
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_retains_nothing(self, tracer):
+        tracer.disable()
+        with tracer.span("hot", attr=1):
+            pass
+        assert tracer.roots == []
+        assert tracer.current_span() is None
+
+    def test_disabled_span_still_times(self, tracer):
+        tracer.disable()
+        with tracer.span("timed") as span:
+            time.sleep(0.01)
+        assert span.duration >= 0.005
+        assert not isinstance(span, Span)
+
+    def test_disabled_span_annotate_is_noop(self, tracer):
+        tracer.disable()
+        with tracer.span("hot") as span:
+            span.annotate(ignored=True)  # must not raise
+
+    def test_global_default_is_disabled_and_usable(self):
+        # The real process-global tracer (not the fixture's) must be a
+        # working no-op out of the box -- this is the hot-path contract.
+        previous = set_tracer(Tracer(enabled=False))
+        set_tracer(previous)
+        with get_tracer().span("ambient") as span:
+            pass
+        assert span.duration >= 0.0
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("worker-root") as span:
+                seen["current"] = tracer.current_span()
+                seen["span"] = span
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span never saw main's stack: it became a root.
+        names = [s.name for s in tracer.roots]
+        assert "worker-root" in names and "main-root" in names
+        assert seen["current"] is seen["span"]
+
+    def test_explicit_cross_thread_parenting(self, tracer):
+        with tracer.span("level") as level:
+
+            def worker():
+                with tracer.span("segment", parent=level):
+                    pass
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        (root,) = tracer.roots
+        assert sorted(c.name for c in root.children) == ["segment"] * 4
+
+
+class TestGlobalSwitches:
+    def test_enable_disable_round_trip(self, tracer):
+        previous = set_tracer(Tracer(enabled=False))
+        try:
+            enable_tracing()
+            with get_tracer().span("on"):
+                pass
+            assert len(get_tracer().roots) == 1
+            disable_tracing()
+            with get_tracer().span("off"):
+                pass
+            assert len(get_tracer().roots) == 1  # kept, not extended
+            enable_tracing(reset=True)
+            assert get_tracer().roots == []
+        finally:
+            set_tracer(previous)
+
+    def test_to_dict_shape(self, tracer):
+        with tracer.span("parent", circuit="c17"):
+            with tracer.span("child"):
+                pass
+        d = tracer.roots[0].to_dict()
+        assert set(d) == {"name", "start", "duration", "attributes", "children"}
+        assert d["attributes"] == {"circuit": "c17"}
+        assert d["children"][0]["name"] == "child"
