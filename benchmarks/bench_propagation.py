@@ -27,9 +27,11 @@ Usage::
         [--circuits c17,alu,comp,voter,pcler8,c432s] [--repeats 5] \
         [--output BENCH_propagation.json]
 
-Single-BN circuits use :class:`SwitchingActivityEstimator`; circuits
-whose clique budget overflows (the c432 class) fall back to
-:class:`SegmentedEstimator`, exactly as the CLI does.
+Compilation goes through the backend facade: the ``"junction-tree"``
+backend first, falling back to ``"segmented"`` on
+:class:`CliqueBudgetExceeded` (the c432 class), exactly as the CLI
+does.  Phase timings run against the raw estimator under the artifact
+so the numbers measure the engine, not the facade.
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ import time
 from typing import Dict, List
 
 from repro.circuits import suite
-from repro.core.estimator import CliqueBudgetExceeded, SwitchingActivityEstimator
+from repro.core.backend import CliqueBudgetExceeded, compile_model
 from repro.core.inputs import IndependentInputs
 from repro.core.segmentation import SegmentedEstimator
 
@@ -91,15 +93,14 @@ def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object
 
     start = time.perf_counter()
     try:
-        estimator = SwitchingActivityEstimator(circuit, max_clique_states=4 ** 10)
-        estimator.compile()
+        estimator = compile_model(
+            circuit, backend="junction-tree", max_clique_states=4 ** 10
+        ).estimator
         row["method"] = "single-bn"
     except CliqueBudgetExceeded:
-        try:
-            estimator = SegmentedEstimator(circuit, parallelism=parallelism)
-        except TypeError:  # pre-engine checkout without the knob
-            estimator = SegmentedEstimator(circuit)
-        estimator.compile()
+        estimator = compile_model(
+            circuit, backend="segmented", parallelism=parallelism
+        ).estimator
         row["method"] = "segmented"
         row["segments"] = estimator.num_segments
     row["compile_seconds"] = time.perf_counter() - start
@@ -113,16 +114,13 @@ def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object
     for i in range(repeats):
         model = IndependentInputs(SWEEP[i % len(SWEEP)])
         start = time.perf_counter()
-        if isinstance(estimator, SegmentedEstimator):
-            estimator.input_model = model
-        else:
-            estimator.update_inputs(model)
+        estimator.update_inputs(model)
         estimator.estimate()
         cycle_seconds.append(time.perf_counter() - start)
     row["repeat_estimate_seconds"] = statistics.mean(cycle_seconds)
     row["repeat_estimate_min_seconds"] = min(cycle_seconds)
 
-    if isinstance(estimator, SwitchingActivityEstimator):
+    if not isinstance(estimator, SegmentedEstimator):
         row["marginal_extraction_seconds"] = _extract_marginals(
             estimator, list(circuit.lines)
         )

@@ -9,11 +9,19 @@ exact per-line switching activity.
 
 Quickstart::
 
-    from repro import SwitchingActivityEstimator
+    from repro import estimate
     from repro.circuits.examples import c17
 
-    estimate = SwitchingActivityEstimator(c17()).estimate()
-    print(estimate.switching("22"))
+    result = estimate(c17())          # backend="auto" picks the method
+    print(result.switching("22"))
+
+or, compile once and query many times (optionally through the on-disk
+compile cache)::
+
+    from repro import compile_model
+
+    model = compile_model(c17(), backend="junction-tree", cache=True)
+    result = model.query()
 
 Packages
 --------
@@ -21,7 +29,8 @@ Packages
 - :mod:`repro.bayesian` -- the exact inference engine (factors, junction
   trees, variable elimination, sampling).
 - :mod:`repro.core` -- the LIDAG switching model (the paper's
-  contribution) and multi-BN segmentation.
+  contribution), multi-BN segmentation, and the backend layer
+  (:mod:`repro.core.backend`) every estimate routes through.
 - :mod:`repro.baselines` -- logic simulation ground truth and classical
   approximate estimators.
 - :mod:`repro.bdd` -- ROBDDs with exact signal probability.
@@ -40,17 +49,39 @@ from repro.core import (
     build_lidag,
     exact_switching_by_enumeration,
 )
+from repro.core.backend import (
+    Backend,
+    CliqueBudgetExceeded,
+    CompileCache,
+    CompiledModel,
+    Method,
+    available_backends,
+    compile_model,
+    estimate,
+    get_backend,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
+    "CliqueBudgetExceeded",
+    "CompileCache",
+    "CompiledModel",
     "CorrelatedGroupInputs",
     "IndependentInputs",
+    "Method",
     "SegmentedEstimator",
     "SwitchingActivityEstimator",
     "SwitchingEstimate",
     "TemporalInputs",
+    "available_backends",
     "build_lidag",
+    "compile_model",
+    "estimate",
     "exact_switching_by_enumeration",
+    "get_backend",
+    "register_backend",
     "__version__",
 ]

@@ -57,10 +57,13 @@ def error_statistics(
     est = np.array([estimated[ln] for ln in lines])
     ref = np.array([reference[ln] for ln in lines])
     errors = est - ref
+    max_abs = float(np.max(np.abs(errors)))
+    # np.mean's division round-off can push the mean of identical values
+    # one ULP above the max; clamp to keep mean <= max exact.
     return ErrorStats(
-        mean_abs_error=float(np.mean(np.abs(errors))),
+        mean_abs_error=min(float(np.mean(np.abs(errors))), max_abs),
         std_error=float(np.std(errors)),
-        max_abs_error=float(np.max(np.abs(errors))),
+        max_abs_error=max_abs,
         percent_error_of_means=percent_error_of_means(estimated, reference),
         n_lines=len(lines),
     )

@@ -15,9 +15,8 @@ inputs are enumerated as one batch and pushed through the cone at once.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 

@@ -35,18 +35,19 @@ from repro.bayesian.propagation import (
     PropagationSchedule,
 )
 from repro.bayesian.triangulate import elimination_cliques, triangulate
+
+# CliqueBudgetExceeded's canonical home is the backend layer (its
+# import-light ``errors`` module), because that is where the budget
+# fallback policy lives; this module is its raising site.
+from repro.core.backend.errors import CliqueBudgetExceeded
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+
+__all__ = ["CliqueBudgetExceeded", "JunctionTree", "JunctionTreeError"]
 
 
 class JunctionTreeError(RuntimeError):
     """Raised for structural or calibration failures."""
-
-
-class CliqueBudgetExceeded(RuntimeError):
-    """The triangulation produced a clique whose table would exceed the
-    caller's state-space budget.  Raised *before* any table is
-    materialized."""
 
 
 class JunctionTree:

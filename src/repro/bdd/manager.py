@@ -8,7 +8,7 @@ with identical children, no duplicate (var, low, high) triples).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit

@@ -188,7 +188,7 @@ def majority_voter(n_voters: int, name: Optional[str] = None) -> Circuit:
             if bit_gt is not None:
                 gt = b.or_(gt, b.and_(eq, bit_gt)) if gt is not None else b.and_(eq, bit_gt)
             eq = b.and_(eq, bit_eq)
-    out = b.add(GateType.BUF, (gt,), name="majority")
+    b.add(GateType.BUF, (gt,), name="majority")
     return Circuit(name or f"voter{n_voters}", bits, b.gates, ["majority"])
 
 
@@ -205,7 +205,7 @@ def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
         if len(layer) % 2:
             nxt.append(layer[-1])
         layer = nxt
-    out = b.add(GateType.BUF, (layer[0],), name="parity")
+    b.add(GateType.BUF, (layer[0],), name="parity")
     return Circuit(name or f"parity{width}", [f"i{k}" for k in range(width)], b.gates, ["parity"])
 
 
@@ -242,7 +242,7 @@ def mux_tree(select_bits: int, name: Optional[str] = None) -> Circuit:
         for k in range(0, len(layer), 2):
             nxt.append(b.mux2(sel[level], layer[k], layer[k + 1]))
         layer = nxt
-    out = b.add(GateType.BUF, (layer[0],), name="y")
+    b.add(GateType.BUF, (layer[0],), name="y")
     return Circuit(name or f"mux{n_data}", data + sel, b.gates, ["y"])
 
 
@@ -272,7 +272,7 @@ def alu(width: int, name: Optional[str] = None) -> Circuit:
         lo = b.mux2("op0", and_i, or_i)     # op1=0: AND / OR
         hi = b.mux2("op0", xor_i, sums[i])  # op1=1: XOR / ADD
         outs.append(b.add(GateType.BUF, (b.mux2("op1", lo, hi),), name=f"y{i}"))
-    cout = b.add(GateType.BUF, (carry,), name="cout")
+    b.add(GateType.BUF, (carry,), name="cout")
     inputs = a_bits + b_bits + ["op0", "op1"]
     return Circuit(name or f"alu{width}", inputs, b.gates, outs + ["cout"])
 
@@ -377,7 +377,7 @@ def parity_clear_register(width: int, name: Optional[str] = None) -> Circuit:
     parity = next_bits[0]
     for bit in next_bits[1:]:
         parity = b.xor(parity, bit)
-    par = b.add(GateType.BUF, (parity,), name="par")
+    b.add(GateType.BUF, (parity,), name="par")
     inputs = q_bits + d_bits + ["ld", "clr"]
     return Circuit(name or f"pcler{width}", inputs, b.gates, next_bits + ["par"])
 

@@ -6,14 +6,19 @@ Usage::
     python -m repro.cli table2 [--circuits ...] [--pairs N] [--trace FILE]
     python -m repro.cli figures
     python -m repro.cli ablations [--which triangulation|segmentation|compile|inputs]
-    python -m repro.cli estimate --circuit c17 [--p-one 0.5] [--trace FILE]
+    python -m repro.cli estimate --circuit c17 [--backend auto] [--p-one 0.5]
     python -m repro.cli stats --circuit c432s [--json out.json]
+    python -m repro.cli cache ls|clear [--dir DIR]
 
-``stats`` profiles one full compile + propagate + re-propagate cycle
-with the observability layer enabled and prints the span tree and
-metrics (optionally exporting the schema-versioned JSON report);
-``--trace FILE`` on the experiment subcommands writes the same report
-for a table run.
+``estimate`` goes through the backend facade and the on-disk compile
+cache (``--no-cache`` disables it, ``--cache-dir`` relocates it); a
+second run on the same circuit loads the compiled junction trees
+instead of rebuilding them.  ``cache`` lists or clears the cached
+artifacts.  ``stats`` profiles one full compile + propagate +
+re-propagate cycle with the observability layer enabled and prints the
+span tree and metrics (optionally exporting the schema-versioned JSON
+report); ``--trace FILE`` on the experiment subcommands writes the
+same report for a table run.
 """
 
 from __future__ import annotations
@@ -134,16 +139,30 @@ def _cmd_ablations(args) -> None:
         print(format_table(cols, rows_from_dicts(rows, cols), title="Input statistics models"))
 
 
+def _resolve_cli_cache(args):
+    """``--no-cache``/``--cache-dir`` -> a facade ``cache`` argument."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None) or True
+
+
 def _cmd_estimate(args) -> None:
-    from repro.experiments.table1 import make_estimator
+    from repro.core.backend import compile_model
 
     finish = _maybe_traced(args, "estimate")
     circuit = suite.load_circuit(args.circuit)
-    estimator = make_estimator(circuit, IndependentInputs(args.p_one))
-    result = estimator.estimate()
+    model = compile_model(
+        circuit,
+        IndependentInputs(args.p_one),
+        backend=args.backend,
+        cache=_resolve_cli_cache(args),
+    )
+    result = model.query(IndependentInputs(args.p_one))
+    cache_note = {True: "hit", False: "miss", None: "off"}[model.cache_hit]
     print(
         f"{args.circuit}: {circuit.num_gates} gates, {result.segments} segment(s), "
-        f"compile {result.compile_seconds:.3f}s, propagate {result.propagate_seconds:.3f}s"
+        f"method {result.method}, cache {cache_note}, "
+        f"compile {model.compile_seconds:.3f}s, propagate {result.propagate_seconds:.3f}s"
     )
     print(f"mean switching activity: {result.mean_activity():.4f}")
     outputs = [(ln, result.switching(ln)) for ln in circuit.outputs]
@@ -165,19 +184,17 @@ def _cmd_stats(args) -> None:
     up in the counters -- the paper's asymmetric cost claim, measured.
     """
     from repro import obs
-    from repro.experiments.table1 import make_estimator
+    from repro.core.backend import compile_model
 
     obs.enable()
     tracer = obs.get_tracer()
     circuit = suite.load_circuit(args.circuit)
     with tracer.span("stats.run", circuit=args.circuit):
-        estimator = make_estimator(circuit, IndependentInputs(args.p_one))
-        result = estimator.estimate()
-        if hasattr(estimator, "update_inputs"):
-            estimator.update_inputs(IndependentInputs(args.repropagate_p_one))
-        else:
-            estimator.input_model = IndependentInputs(args.repropagate_p_one)
-        repeat = estimator.estimate()
+        model = compile_model(
+            circuit, IndependentInputs(args.p_one), backend="auto"
+        )
+        result = model.query()
+        repeat = model.query(IndependentInputs(args.repropagate_p_one))
     report = obs.build_report(
         meta={
             "command": "stats",
@@ -200,6 +217,31 @@ def _cmd_stats(args) -> None:
             json.dump(report, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json}")
+
+
+def _cmd_cache(args) -> None:
+    """List or clear the on-disk compile cache."""
+    from repro.core.backend import CompileCache
+
+    cache = CompileCache(args.dir) if args.dir else CompileCache()
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache at {cache.root}: empty")
+            return
+        print(f"cache at {cache.root}: {len(entries)} artifact(s)")
+        print(
+            format_table(
+                ["key", "backend", "circuit", "bytes"],
+                [
+                    (e.key[:16], e.backend, e.circuit, e.size_bytes)
+                    for e in entries
+                ],
+            )
+        )
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} artifact(s) from {cache.root}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,9 +280,29 @@ def build_parser() -> argparse.ArgumentParser:
     pe = sub.add_parser("estimate", help="estimate one suite circuit")
     pe.add_argument("--circuit", required=True, choices=suite.FULL_SUITE)
     pe.add_argument("--p-one", type=float, default=0.5)
+    pe.add_argument(
+        "--backend", default="auto",
+        help="inference backend (see `repro.core.backend`); default: auto",
+    )
+    pe.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="compile-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    pe.add_argument(
+        "--no-cache", action="store_true",
+        help="compile fresh, skipping the on-disk cache",
+    )
     pe.add_argument("--trace", default=None, metavar="FILE",
                     help="write an obs JSON report of the run")
     pe.set_defaults(func=_cmd_estimate)
+
+    pc = sub.add_parser("cache", help="inspect or clear the compile cache")
+    pc.add_argument("action", choices=["ls", "clear"])
+    pc.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    pc.set_defaults(func=_cmd_cache)
 
     ps = sub.add_parser(
         "stats", help="profile compile/propagate with the obs layer"

@@ -1,0 +1,105 @@
+"""The one front door of the estimation stack.
+
+Every consumer -- CLI subcommands, the experiment scripts, benchmarks,
+library users -- estimates switching activity through two functions::
+
+    from repro import estimate
+
+    result = estimate(circuit, inputs, backend="auto")
+
+or, when the compile should be reused across queries or processes::
+
+    from repro import compile_model
+
+    model = compile_model(circuit, backend="junction-tree", cache=True)
+    result = model.query(inputs)
+
+``cache`` accepts ``None``/``False`` (no cache), ``True`` (the default
+on-disk location), a directory path, or a
+:class:`~repro.core.backend.cache.CompileCache` instance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Union
+
+from repro.circuits.netlist import Circuit
+from repro.core.backend.base import CompiledModel
+from repro.core.backend.cache import CompileCache
+from repro.core.backend.registry import get_backend
+from repro.core.inputs import IndependentInputs, InputModel
+from repro.obs.trace import get_tracer
+
+__all__ = ["compile_model", "estimate"]
+
+CacheSpec = Union[None, bool, str, os.PathLike, CompileCache]
+
+
+def resolve_cache(cache: CacheSpec) -> Optional[CompileCache]:
+    """Normalize the ``cache`` argument to a :class:`CompileCache`."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return CompileCache()
+    if isinstance(cache, CompileCache):
+        return cache
+    return CompileCache(cache)
+
+
+def compile_model(
+    circuit: Circuit,
+    inputs: Optional[InputModel] = None,
+    backend: str = "auto",
+    cache: CacheSpec = None,
+    **options: Any,
+) -> CompiledModel:
+    """Compile ``circuit`` with the named backend, via the cache if any.
+
+    Returns a :class:`~repro.core.backend.base.CompiledModel` whose
+    ``cache_hit`` attribute records how it was obtained (``None`` when
+    no cache was consulted).
+    """
+    backend_obj = get_backend(backend)
+    cache_obj = resolve_cache(cache)
+    key = None
+    if cache_obj is not None:
+        key = cache_obj.key_for(
+            circuit,
+            backend_obj.name,
+            inputs,
+            backend_obj.cache_token(**options),
+        )
+        model = cache_obj.get(key)
+        if model is not None:
+            model.cache_hit = True
+            return model
+    with get_tracer().span(
+        "backend.compile",
+        backend=backend_obj.name,
+        circuit=circuit.name,
+        cache="miss" if cache_obj is not None else "off",
+    ):
+        model = backend_obj.compile(circuit, inputs, **options)
+    if cache_obj is not None:
+        cache_obj.put(key, model)
+        model.cache_hit = False
+    return model
+
+
+def estimate(
+    circuit: Circuit,
+    inputs: Optional[InputModel] = None,
+    backend: str = "auto",
+    cache: CacheSpec = None,
+    **options: Any,
+):
+    """Estimate switching activity in one call.
+
+    Compiles (or cache-loads) a model and queries it with ``inputs``
+    (default: independent fair-coin inputs, applied explicitly so a
+    cached artifact never leaks the statistics it was compiled with).
+    """
+    model = compile_model(circuit, inputs, backend=backend, cache=cache, **options)
+    query_inputs = inputs if inputs is not None else IndependentInputs(0.5)
+    return model.query(query_inputs)

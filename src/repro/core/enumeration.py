@@ -22,11 +22,12 @@ into lossy sub-segments.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.circuits.netlist import Circuit
+from repro.core.backend.base import Method
 from repro.core.cpt import _transition_function
 from repro.core.estimator import SwitchingEstimate
 from repro.core.inputs import InputModel
@@ -81,16 +82,7 @@ class EnumerationSegment:
         self._kept_states: Dict[str, np.ndarray] = {}
         # The input-state grid is structural; build it once.
         start = time.perf_counter()
-        if k:
-            grids = np.meshgrid(
-                *([np.arange(N_STATES, dtype=np.int8)] * k), indexing="ij"
-            )
-            self._input_states = {
-                name: grid.reshape(-1)
-                for name, grid in zip(circuit.inputs, grids)
-            }
-        else:
-            self._input_states = {}
+        self._rebuild_grid()
         self.compile_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -144,8 +136,34 @@ class EnumerationSegment:
             distributions=distributions,
             compile_seconds=self.compile_seconds,
             propagate_seconds=propagate_seconds,
-            method="enumeration",
+            method=Method.ENUMERATION.value,
         )
+
+    def __getstate__(self):
+        # The grid and the per-query caches are rebuildable and can be
+        # tens of megabytes on wide segments; drop them from artifacts.
+        state = self.__dict__.copy()
+        state["_input_states"] = None
+        state["_weights"] = None
+        state["_kept_states"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._rebuild_grid()
+
+    def _rebuild_grid(self) -> None:
+        k = self.circuit.num_inputs
+        if k:
+            grids = np.meshgrid(
+                *([np.arange(N_STATES, dtype=np.int8)] * k), indexing="ij"
+            )
+            self._input_states = {
+                name: grid.reshape(-1)
+                for name, grid in zip(self.circuit.inputs, grids)
+            }
+        else:
+            self._input_states = {}
 
     @staticmethod
     def _distribution(states: np.ndarray, weights: np.ndarray) -> np.ndarray:

@@ -19,7 +19,8 @@ to prove exactness on small circuits.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 import numpy as np
@@ -27,6 +28,7 @@ import numpy as np
 from repro.bayesian.junction import JunctionTree
 from repro.bayesian.propagation import PropagationCounters
 from repro.circuits.netlist import Circuit
+from repro.core.backend.base import Method
 from repro.core.cpt import output_transition
 from repro.core.inputs import IndependentInputs, InputModel
 from repro.core.lidag import build_lidag
@@ -34,9 +36,20 @@ from repro.core.states import N_STATES, switching_probability
 from repro.obs.trace import get_tracer
 
 
-# Raised before any large table is materialized; callers should fall
-# back to :class:`repro.core.segmentation.SegmentedEstimator`.
-from repro.bayesian.junction import CliqueBudgetExceeded  # noqa: F401  (re-export)
+def __getattr__(name: str):
+    # Deprecated alias: CliqueBudgetExceeded used to be re-exported
+    # here; its home is now the backend layer.
+    if name == "CliqueBudgetExceeded":
+        warnings.warn(
+            "importing CliqueBudgetExceeded from repro.core.estimator is "
+            "deprecated; import it from repro.core.backend (or repro)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.backend.errors import CliqueBudgetExceeded
+
+        return CliqueBudgetExceeded
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -49,8 +62,8 @@ class SwitchingEstimate:
     compile_seconds: float
     #: seconds spent calibrating + reading marginals (the update phase)
     propagate_seconds: float
-    #: "single-bn" or "segmented"
-    method: str = "single-bn"
+    #: one of the :class:`repro.core.backend.Method` values
+    method: str = Method.SINGLE_BN.value
     #: number of Bayesian networks used
     segments: int = 1
 
@@ -113,7 +126,9 @@ class SwitchingActivityEstimator:
         if self._jt is not None:
             return self
         with get_tracer().span(
-            "estimator.compile", circuit=self.circuit.name
+            "estimator.compile",
+            circuit=self.circuit.name,
+            backend="junction-tree",
         ) as span:
             self._bn = build_lidag(self.circuit, self.input_model)
             self._jt = JunctionTree.from_network(
@@ -148,7 +163,11 @@ class SwitchingActivityEstimator:
         """Calibrate and return every line's transition distribution."""
         self.compile()
         tracer = get_tracer()
-        with tracer.span("estimator.propagate", circuit=self.circuit.name) as span:
+        with tracer.span(
+            "estimator.propagate",
+            circuit=self.circuit.name,
+            backend="junction-tree",
+        ) as span:
             with tracer.span("propagate.calibrate"):
                 self._jt.calibrate()
             # One batched sweep reads every line's marginal, grouped by
@@ -162,6 +181,7 @@ class SwitchingActivityEstimator:
             distributions=distributions,
             compile_seconds=self.compile_seconds,
             propagate_seconds=span.duration,
+            method=Method.SINGLE_BN.value,
         )
 
     def propagation_counters(self) -> PropagationCounters:

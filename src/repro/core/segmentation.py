@@ -22,11 +22,9 @@ import numpy as np
 from repro.bayesian.cpd import TabularCPD
 from repro.bayesian.propagation import PropagationCounters
 from repro.circuits.netlist import Circuit
-from repro.core.estimator import (
-    CliqueBudgetExceeded,
-    SwitchingActivityEstimator,
-    SwitchingEstimate,
-)
+from repro.core.backend.base import Method
+from repro.core.backend.errors import CliqueBudgetExceeded
+from repro.core.estimator import SwitchingActivityEstimator, SwitchingEstimate
 from repro.core.inputs import IndependentInputs, InputModel
 from repro.core.states import N_STATES, current_values, previous_values
 from repro.obs.metrics import get_metrics
@@ -280,6 +278,7 @@ class SegmentedEstimator:
             "segmented.compile",
             circuit=self.circuit.name,
             parallelism=self.parallelism,
+            backend="segmented",
         ) as span:
             internal = self._cone_clustered_order()
             self._position = {
@@ -647,7 +646,26 @@ class SegmentedEstimator:
             return
         registry.add(segment, estimator, owned, parent_of)
 
+    def __getstate__(self):
+        # The cone cache is a compile-time accelerator that can hold
+        # megabytes of frozensets; compiled artifacts never need it.
+        state = self.__dict__.copy()
+        state.pop("_cone_cache", None)
+        return state
+
     # ------------------------------------------------------------------
+
+    def update_inputs(self, input_model: InputModel) -> None:
+        """Swap primary-input statistics without recompiling.
+
+        Segment junction trees are reused as-is; the new statistics
+        enter through the boundary refresh at the next :meth:`estimate`
+        (only marginals -- and, in tree mode, pairwise joints -- cross
+        segment cuts, so input correlation models degrade exactly as
+        the paper's segmentation scheme describes).
+        """
+        self.compile()
+        self.input_model = input_model
 
     def estimate(self) -> SwitchingEstimate:
         """Propagate marginals segment by segment in topological order.
@@ -665,6 +683,7 @@ class SegmentedEstimator:
             "segmented.propagate",
             circuit=self.circuit.name,
             segments=len(self._segments),
+            backend="segmented",
         ) as span:
             known: Dict[str, np.ndarray] = {
                 name: self.input_model.marginal_distribution(name)
@@ -699,7 +718,11 @@ class SegmentedEstimator:
             distributions=known,
             compile_seconds=self.compile_seconds,
             propagate_seconds=span.duration,
-            method="segmented" if len(self._segments) > 1 else "single-bn",
+            method=(
+                Method.SEGMENTED.value
+                if len(self._segments) > 1
+                else Method.SINGLE_BN.value
+            ),
             segments=len(self._segments),
         )
 

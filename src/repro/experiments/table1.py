@@ -23,9 +23,8 @@ from repro.analysis.metrics import error_statistics
 from repro.baselines.simulation import simulate_switching
 from repro.circuits import suite
 from repro.circuits.netlist import Circuit
-from repro.core.estimator import CliqueBudgetExceeded, SwitchingActivityEstimator
+from repro.core.backend import compile_model
 from repro.core.inputs import IndependentInputs, InputModel
-from repro.core.segmentation import SegmentedEstimator
 from repro.obs.trace import get_tracer
 
 
@@ -39,32 +38,20 @@ def make_estimator(
 ):
     """Single-BN estimator for small circuits, segmented otherwise.
 
-    A circuit small enough to fit one segment goes through
-    :class:`SwitchingActivityEstimator` directly (which also preserves
-    input-correlation models exactly); anything larger uses
-    :class:`SegmentedEstimator`.  The clique budget defaults to
-    ``4^10`` for mid-size circuits and ``4^9`` beyond 2000 gates to
-    bound memory.
+    Thin wrapper over the ``"auto"`` backend
+    (:class:`repro.core.backend.backends.AutoBackend`), kept for
+    callers that want the raw estimator object rather than the
+    :class:`~repro.core.backend.base.CompiledModel` artifact.
     """
-    if max_clique_states is None:
-        max_clique_states = 4 ** 9 if circuit.num_gates > 2000 else 4 ** 10
-    if circuit.num_gates <= max_gates_per_segment:
-        try:
-            return SwitchingActivityEstimator(
-                circuit,
-                input_model,
-                max_clique_states=max_clique_states,
-            ).compile()
-        except CliqueBudgetExceeded:
-            pass
-    return SegmentedEstimator(
+    return compile_model(
         circuit,
         input_model,
+        backend="auto",
         max_gates_per_segment=max_gates_per_segment,
-        max_clique_states=max_clique_states,
         lookback=lookback,
+        max_clique_states=max_clique_states,
         boundary=boundary,
-    ).compile()
+    ).estimator
 
 
 def table1_row(
@@ -77,13 +64,13 @@ def table1_row(
 ) -> Dict[str, float]:
     """One Table 1 row: error statistics and the compile/update split."""
     model = input_model if input_model is not None else IndependentInputs(0.5)
-    estimator = make_estimator(circuit, model, **estimator_kwargs)
-    result = estimator.estimate()
+    compiled = compile_model(circuit, model, backend="auto", **estimator_kwargs)
+    result = compiled.query()
 
     # Re-propagation with fresh statistics measures the paper's "update"
     # time: everything after compilation.
     with get_tracer().span("table1.update", circuit=name) as span:
-        repeat = estimator.estimate()
+        repeat = compiled.query()
     update_seconds = span.duration
 
     sim = simulate_switching(

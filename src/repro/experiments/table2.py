@@ -26,13 +26,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.metrics import error_statistics
-from repro.baselines.independent import independence_switching
-from repro.baselines.local import local_cone_switching
-from repro.baselines.pairwise import pairwise_switching
 from repro.baselines.simulation import simulate_switching
 from repro.circuits import suite
+from repro.core.backend import estimate
 from repro.core.inputs import IndependentInputs, InputModel
-from repro.experiments.table1 import make_estimator
 from repro.obs.trace import get_tracer
 
 #: Table 2 circuits: the c-series subset the paper uses.
@@ -46,30 +43,22 @@ DEFAULT_TABLE2_CIRCUITS = [
 ]
 
 
+#: (row label, backend name, backend options) per Table 2 method.
+TABLE2_METHODS = [
+    ("bayesian-network", "auto", {}),
+    ("pairwise", "pairwise", {}),
+    ("local-cone", "local-cone", {"depth": 3, "max_cut_inputs": 6}),
+    ("independence", "independence", {}),
+]
+
+
 def _method_rows(name, circuit, sim_acts, model) -> List[Dict[str, float]]:
     tracer = get_tracer()
     rows = []
-
-    with tracer.span("table2.method", circuit=name, method="bayesian-network") as sp:
-        estimator = make_estimator(circuit, model)
-        result = estimator.estimate()
-    rows.append(
-        _row(name, "bayesian-network", result.activities, sim_acts, sp.duration)
-    )
-
-    with tracer.span("table2.method", circuit=name, method="pairwise") as sp:
-        pw = pairwise_switching(circuit, model)
-    rows.append(_row(name, "pairwise", pw.activities, sim_acts, sp.duration))
-
-    with tracer.span("table2.method", circuit=name, method="local-cone") as sp:
-        cone = local_cone_switching(circuit, model, depth=3, max_cut_inputs=6)
-    rows.append(_row(name, "local-cone", cone.activities, sim_acts, sp.duration))
-
-    with tracer.span("table2.method", circuit=name, method="independence") as sp:
-        indep = independence_switching(circuit, model)
-    rows.append(
-        _row(name, "independence", indep.activities, sim_acts, sp.duration)
-    )
+    for label, backend, options in TABLE2_METHODS:
+        with tracer.span("table2.method", circuit=name, method=label) as sp:
+            result = estimate(circuit, model, backend=backend, **options)
+        rows.append(_row(name, label, result.activities, sim_acts, sp.duration))
     return rows
 
 

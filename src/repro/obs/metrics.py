@@ -22,7 +22,7 @@ Same invariants as the tracer (DESIGN.md section 8):
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 __all__ = [
     "Counter",

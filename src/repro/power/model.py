@@ -9,10 +9,8 @@ wire term, scaled by the technology node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
-
-import numpy as np
 
 from repro.circuits.netlist import Circuit
 

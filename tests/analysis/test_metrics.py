@@ -1,11 +1,10 @@
 """Tests for error metrics and table formatting."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.metrics import ErrorStats, error_statistics, percent_error_of_means
+from repro.analysis.metrics import error_statistics, percent_error_of_means
 from repro.analysis.tables import format_table, rows_from_dicts
 
 

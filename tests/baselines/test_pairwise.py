@@ -1,6 +1,5 @@
 """Tests for pairwise correlation-coefficient propagation."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.pairwise import pairwise_switching

@@ -6,7 +6,6 @@ import pytest
 from repro.baselines.simulation import simulate_switching
 from repro.circuits import examples
 from repro.core import (
-    IndependentInputs,
     TemporalInputs,
     CorrelatedGroupInputs,
     exact_switching_by_enumeration,

@@ -1,6 +1,5 @@
 """Tests for moralization helpers."""
 
-import networkx as nx
 
 from repro.bayesian.moral import moral_graph, moral_graph_with_fill_report
 from repro.core.lidag import build_lidag

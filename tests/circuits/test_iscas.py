@@ -1,6 +1,5 @@
 """Functional tests for the ISCAS-85 stand-in builders."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.iscas import (

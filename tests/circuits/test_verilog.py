@@ -41,7 +41,6 @@ class TestParsing:
     def test_behaviour_matches_bench_c17(self):
         verilog = parse_verilog(C17_VERILOG)
         bench = c17()
-        rename = {f"N{n}": n for n in ("1", "2", "3", "6", "7", "22", "23")}
         for a in (0, 1):
             for b in (0, 1):
                 vector = {"1": a, "2": b, "3": 1, "6": 0, "7": a}

@@ -1,6 +1,5 @@
 """Tests for LIDAG construction and the Theorem-3 I-map property."""
 
-import pytest
 
 from repro.bayesian.dsep import d_separated
 from repro.circuits.examples import c17, full_adder_circuit, paper_circuit

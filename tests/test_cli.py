@@ -1,0 +1,127 @@
+"""End-to-end CLI coverage: estimate (with cache), stats, cache."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.core.backend.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture
+def cache_dir(monkeypatch, tmp_path):
+    """Point the default cache at a throwaway directory."""
+    directory = tmp_path / "cache"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(directory))
+    return directory
+
+
+def _activities(output: str) -> dict:
+    """Parse the output-switching table printed by ``estimate``."""
+    acts = {}
+    for line, value in re.findall(r"^\s*(\S+)\s+([0-9.]+)\s*$", output, re.M):
+        acts[line] = value
+    return acts
+
+
+def test_estimate_second_run_hits_cache(capsys, cache_dir):
+    assert main(["estimate", "--circuit", "c432s"]) == 0
+    first = capsys.readouterr().out
+    assert "cache miss" in first
+
+    assert main(["estimate", "--circuit", "c432s"]) == 0
+    second = capsys.readouterr().out
+    assert "cache hit" in second
+
+    # The artifact landed in the overridden default directory and the
+    # cached run reproduces the exact same reported activities.
+    assert list(cache_dir.glob("*.repro.pkl"))
+    assert _activities(first)
+    assert _activities(first) == _activities(second)
+
+
+def test_estimate_no_cache_flag(capsys, cache_dir):
+    assert main(["estimate", "--circuit", "c17", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cache off" in out
+    assert not cache_dir.exists()
+
+
+def test_estimate_cache_dir_flag(capsys, tmp_path):
+    explicit = tmp_path / "explicit"
+    assert main(
+        ["estimate", "--circuit", "c17", "--cache-dir", str(explicit)]
+    ) == 0
+    assert "cache miss" in capsys.readouterr().out
+    assert list(explicit.glob("*.repro.pkl"))
+
+
+def test_estimate_backend_flag(capsys, cache_dir):
+    assert main(
+        ["estimate", "--circuit", "c17", "--backend", "enumeration"]
+    ) == 0
+    assert "method enumeration" in capsys.readouterr().out
+
+
+def test_cache_ls_and_clear(capsys, cache_dir):
+    main(["estimate", "--circuit", "c17"])
+    capsys.readouterr()
+
+    assert main(["cache", "ls"]) == 0
+    listing = capsys.readouterr().out
+    assert "1 artifact(s)" in listing
+    assert "c17" in listing
+
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1 artifact(s)" in capsys.readouterr().out
+
+    assert main(["cache", "ls"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_cache_dir_option_overrides_env(capsys, cache_dir, tmp_path):
+    other = tmp_path / "other"
+    main(["estimate", "--circuit", "c17", "--cache-dir", str(other)])
+    capsys.readouterr()
+    assert main(["cache", "ls", "--dir", str(other)]) == 0
+    assert "1 artifact(s)" in capsys.readouterr().out
+    assert main(["cache", "ls"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+@pytest.fixture
+def disable_obs_after():
+    yield
+    from repro import obs
+
+    obs.disable()
+    obs.reset()
+
+
+def test_stats_subcommand_reports_span_tree(
+    capsys, cache_dir, tmp_path, disable_obs_after
+):
+    report_path = tmp_path / "stats.json"
+    assert main(
+        ["stats", "--circuit", "c17", "--json", str(report_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "stats.run" in out
+    assert "backend.compile" in out
+    assert "re-propagate" in out
+
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == "repro.obs/v1"
+    names = set()
+
+    def walk(span):
+        names.add(span["name"])
+        for child in span["children"]:
+            walk(child)
+
+    for span in report["spans"]:
+        walk(span)
+    assert "backend.compile" in names
+    assert "backend.query" in names
+    assert "estimator.compile" in names or "segmented.compile" in names

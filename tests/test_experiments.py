@@ -1,8 +1,5 @@
 """Integration tests for the experiment harness and CLI."""
 
-import numpy as np
-import pytest
-
 from repro.experiments.ablations import (
     ablate_compile_vs_propagate,
     ablate_input_models,
@@ -10,7 +7,7 @@ from repro.experiments.ablations import (
     ablate_triangulation,
 )
 from repro.experiments.figures import figure_walkthrough
-from repro.experiments.table1 import make_estimator, run_table1, table1_row
+from repro.experiments.table1 import make_estimator, run_table1
 from repro.experiments.table2 import run_table2
 
 
