@@ -61,12 +61,26 @@ from repro.core.backend import (
     get_backend,
     register_backend,
 )
+from repro.core.backend.facade import DEFAULT_FALLBACK_CHAIN
+from repro.errors import (
+    CompileError,
+    InputModelError,
+    PropagationError,
+    ReproError,
+    ValidationError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Backend",
     "CliqueBudgetExceeded",
+    "CompileError",
+    "DEFAULT_FALLBACK_CHAIN",
+    "InputModelError",
+    "PropagationError",
+    "ReproError",
+    "ValidationError",
     "CompileCache",
     "CompiledModel",
     "CorrelatedGroupInputs",

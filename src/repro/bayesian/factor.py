@@ -14,6 +14,8 @@ from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ZeroBeliefError
+
 
 class Factor:
     """An unnormalized potential over a set of discrete variables.
@@ -187,7 +189,7 @@ class Factor:
         """Scale so the table sums to 1."""
         total = self.values.sum()
         if total <= 0:
-            raise ZeroDivisionError("cannot normalize a zero factor")
+            raise ZeroBeliefError("cannot normalize a zero factor")
         return Factor._unsafe(self.variables, self.values / total)
 
     def permute(self, order: Sequence[str]) -> "Factor":

@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bayesian.factor import Factor
+from repro.errors import ZeroBeliefError
 from repro.obs.metrics import get_metrics
 
 __all__ = ["PropagationCounters", "PropagationSchedule", "PropagationEngine"]
@@ -489,7 +490,7 @@ class PropagationEngine:
             beta = self._beta[idx]
             total = beta.sum()
             if total <= 0:
-                raise ZeroDivisionError("cannot normalize a zero belief")
+                raise ZeroBeliefError("cannot normalize a zero belief")
             axes = list(range(beta.ndim))
             for var in group:
                 axis = self.schedule.variable_axis[var][1]

@@ -12,6 +12,7 @@ from typing import Dict, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.bayesian.network import BayesianNetwork
+from repro.errors import ZeroBeliefError
 
 
 def forward_sample(
@@ -109,7 +110,7 @@ def likelihood_weighting(
 
     total = weights.sum()
     if total <= 0:
-        raise ZeroDivisionError("all sample weights are zero (impossible evidence?)")
+        raise ZeroBeliefError("all sample weights are zero (impossible evidence?)")
     result: Dict[str, np.ndarray] = {}
     for target in targets:
         card = bn.cardinality(target)

@@ -21,18 +21,30 @@ from typing import List, Union
 
 from repro.circuits.gates import resolve_gate_type
 from repro.circuits.netlist import Circuit, Gate
+from repro.errors import BenchFormatError
+
+__all__ = [
+    "BenchFormatError",
+    "parse_bench",
+    "parse_bench_file",
+    "to_bench",
+    "write_bench_file",
+]
 
 _INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
 _OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*?)\s*\)$")
 
 
-class BenchFormatError(ValueError):
-    """Raised when a ``.bench`` file cannot be parsed."""
-
-
 def parse_bench(text: str, name: str = "bench") -> Circuit:
     """Parse ``.bench`` netlist text into a :class:`Circuit`.
+
+    Declarations are strictly validated: duplicate ``INPUT(...)``
+    declarations, lines defined twice (by two gates, or a gate and an
+    ``INPUT``), gate operands that no declaration ever defines, and
+    ``OUTPUT(...)`` of an undefined line all raise
+    :class:`~repro.errors.BenchFormatError` carrying the offending
+    ``.bench`` line number.
 
     Parameters
     ----------
@@ -44,6 +56,18 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
     inputs: List[str] = []
     outputs: List[str] = []
     gates: List[Gate] = []
+    defined_at: dict = {}  # line name -> .bench line number of its definition
+    operand_refs: List[tuple] = []  # (lineno, gate output, operand)
+    output_refs: List[tuple] = []  # (lineno, line name)
+
+    def define(line_name: str, lineno: int, what: str) -> None:
+        prev = defined_at.get(line_name)
+        if prev is not None:
+            raise BenchFormatError(
+                f"line {lineno}: {what} {line_name!r} already defined "
+                f"at line {prev}"
+            )
+        defined_at[line_name] = lineno
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -51,11 +75,13 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
             continue
         m = _INPUT_RE.match(line)
         if m:
+            define(m.group(1), lineno, "INPUT")
             inputs.append(m.group(1))
             continue
         m = _OUTPUT_RE.match(line)
         if m:
             outputs.append(m.group(1))
+            output_refs.append((lineno, m.group(1)))
             continue
         m = _GATE_RE.match(line)
         if m:
@@ -65,12 +91,34 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
                 raise BenchFormatError(f"line {lineno}: gate {out!r} has no operands")
             if keyword.upper() == "DFF":
                 # Full-scan conversion: FF output -> pseudo-PI, FF input -> pseudo-PO.
+                define(out, lineno, "DFF output")
                 inputs.append(out)
                 outputs.extend(operands)
+                output_refs.extend((lineno, op) for op in operands)
                 continue
-            gates.append(Gate(out, resolve_gate_type(keyword), tuple(operands)))
+            define(out, lineno, "gate output")
+            try:
+                gate_type = resolve_gate_type(keyword)
+            except (KeyError, ValueError) as exc:
+                raise BenchFormatError(f"line {lineno}: {exc}") from exc
+            gates.append(Gate(out, gate_type, tuple(operands)))
+            operand_refs.extend((lineno, out, op) for op in operands)
             continue
         raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+
+    # References may legally precede definitions, so resolve them only
+    # after the whole file is read.
+    for lineno, out, operand in operand_refs:
+        if operand not in defined_at:
+            raise BenchFormatError(
+                f"line {lineno}: gate {out!r} reads {operand!r}, "
+                f"which is never defined"
+            )
+    for lineno, line_name in output_refs:
+        if line_name not in defined_at:
+            raise BenchFormatError(
+                f"line {lineno}: OUTPUT({line_name}) is never defined"
+            )
 
     if not inputs:
         raise BenchFormatError("netlist declares no INPUT lines")

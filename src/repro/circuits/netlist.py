@@ -16,6 +16,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.gates import GateType, evaluate_gate
+from repro.errors import CircuitError, CombinationalCycleError, UndefinedLineError
+
+__all__ = ["Circuit", "CircuitError", "Gate"]
 
 
 @dataclass(frozen=True)
@@ -37,10 +40,6 @@ class Gate:
 
     def __str__(self) -> str:
         return f"{self.output} = {self.gate_type}({', '.join(self.inputs)})"
-
-
-class CircuitError(ValueError):
-    """Raised for structurally invalid netlists (cycles, double drivers...)."""
 
 
 class Circuit:
@@ -70,28 +69,14 @@ class Circuit:
         gates: Iterable[Gate],
         outputs: Optional[Sequence[str]] = None,
     ):
+        # Deferred to avoid a cycle at import time: repro.core imports
+        # this module while initializing.
+        from repro.core.validate import check_netlist
+
         self.name = name
         self.inputs: List[str] = list(inputs)
-        self.gates: Dict[str, Gate] = {}
-
-        if len(set(self.inputs)) != len(self.inputs):
-            raise CircuitError(f"{name}: duplicate primary input names")
-
-        input_set = set(self.inputs)
-        for gate in gates:
-            if gate.output in self.gates:
-                raise CircuitError(f"{name}: line {gate.output!r} driven twice")
-            if gate.output in input_set:
-                raise CircuitError(f"{name}: primary input {gate.output!r} driven by a gate")
-            self.gates[gate.output] = gate
-
-        defined = input_set | set(self.gates)
-        for gate in self.gates.values():
-            for src in gate.inputs:
-                if src not in defined:
-                    raise CircuitError(
-                        f"{name}: gate {gate.output!r} reads undefined line {src!r}"
-                    )
+        self.gates: Dict[str, Gate] = check_netlist(name, self.inputs, gates)
+        defined = set(self.inputs) | set(self.gates)
 
         self._topo_order = self._compute_topological_order()
 
@@ -102,7 +87,9 @@ class Circuit:
             self.outputs = list(outputs)
             for line in self.outputs:
                 if line not in defined:
-                    raise CircuitError(f"{name}: undefined primary output {line!r}")
+                    raise UndefinedLineError(
+                        f"{name}: undefined primary output {line!r}"
+                    )
 
         self._levels: Optional[Dict[str, int]] = None
         self._fanout: Optional[Dict[str, List[str]]] = None
@@ -170,7 +157,9 @@ class Circuit:
                     ready.append(consumer)
         if len(order) != len(self.inputs) + len(self.gates):
             cyclic = sorted(set(self.gates) - placed)
-            raise CircuitError(f"{self.name}: combinational cycle through {cyclic[:5]}")
+            raise CombinationalCycleError(
+                f"{self.name}: combinational cycle through {cyclic[:5]}"
+            )
         return order
 
     def levels(self) -> Dict[str, int]:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.circuits import examples, generate, iscas
 from repro.circuits.iscas import merge_circuits, share_bus
 from repro.circuits.netlist import Circuit
+from repro.errors import UnknownCircuitError
 
 
 def _c880s() -> Circuit:
@@ -163,7 +164,9 @@ def load_circuit(name: str) -> Circuit:
     for circuit_name, factory, _ in _SUITE_FACTORIES:
         if circuit_name == name:
             return factory()
-    raise KeyError(f"unknown suite circuit {name!r}; known: {FULL_SUITE}")
+    raise UnknownCircuitError(
+        f"unknown suite circuit {name!r}; known: {', '.join(FULL_SUITE)}"
+    )
 
 
 def is_standin(name: str) -> bool:
@@ -171,7 +174,7 @@ def is_standin(name: str) -> bool:
     for circuit_name, _, synthetic in _SUITE_FACTORIES:
         if circuit_name == name:
             return synthetic
-    raise KeyError(f"unknown suite circuit {name!r}")
+    raise UnknownCircuitError(f"unknown suite circuit {name!r}")
 
 
 def benchmark_suite(names: Optional[List[str]] = None) -> Dict[str, Circuit]:

@@ -9,16 +9,25 @@ Usage::
     python -m repro.cli estimate --circuit c17 [--backend auto] [--p-one 0.5]
     python -m repro.cli stats --circuit c432s [--json out.json]
     python -m repro.cli cache ls|clear [--dir DIR]
+    python -m repro.cli fuzz [--seeds N] [--max-gates N] [--out DIR]
 
 ``estimate`` goes through the backend facade and the on-disk compile
 cache (``--no-cache`` disables it, ``--cache-dir`` relocates it); a
 second run on the same circuit loads the compiled junction trees
-instead of rebuilding them.  ``cache`` lists or clears the cached
-artifacts.  ``stats`` profiles one full compile + propagate +
-re-propagate cycle with the observability layer enabled and prints the
-span tree and metrics (optionally exporting the schema-versioned JSON
-report); ``--trace FILE`` on the experiment subcommands writes the
-same report for a table run.
+instead of rebuilding them.  ``--circuit`` accepts a suite name *or* a
+path to a ``.bench`` netlist, which is validated before estimation;
+``--fallback`` enables graceful degradation through the backend chain.
+``cache`` lists or clears the cached artifacts.  ``stats`` profiles
+one full compile + propagate + re-propagate cycle with the
+observability layer enabled and prints the span tree and metrics
+(optionally exporting the schema-versioned JSON report); ``--trace
+FILE`` on the experiment subcommands writes the same report for a
+table run.  ``fuzz`` runs the cross-backend differential harness and
+exits non-zero if any backend disagrees with the enumeration oracle.
+
+Every anticipated failure (unknown circuit, malformed netlist, unknown
+backend, infeasible input statistics, ...) exits with status 1 and a
+one-line ``repro: error: ...`` message -- no traceback.
 """
 
 from __future__ import annotations
@@ -26,10 +35,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.analysis.tables import format_table, rows_from_dicts
 from repro.circuits import suite
 from repro.core.inputs import IndependentInputs
+from repro.errors import ReproError, UnknownCircuitError
 
 
 def _write_trace(path: str, meta: dict) -> None:
@@ -146,24 +157,44 @@ def _resolve_cli_cache(args):
     return getattr(args, "cache_dir", None) or True
 
 
+def _resolve_circuit(spec: str):
+    """A suite name, or a path to a ``.bench`` netlist on disk."""
+    if spec in suite.FULL_SUITE:
+        return suite.load_circuit(spec)
+    path = Path(spec)
+    if path.suffix == ".bench" or path.is_file():
+        if not path.is_file():
+            raise UnknownCircuitError(f"no such .bench file: {spec}")
+        from repro.circuits.bench import parse_bench_file
+
+        return parse_bench_file(path)
+    raise UnknownCircuitError(
+        f"unknown circuit {spec!r}: not a suite name "
+        f"({', '.join(suite.FULL_SUITE)}) and not a .bench file"
+    )
+
+
 def _cmd_estimate(args) -> None:
-    from repro.core.backend import compile_model
+    from repro.core.backend import estimate
 
     finish = _maybe_traced(args, "estimate")
-    circuit = suite.load_circuit(args.circuit)
-    model = compile_model(
+    circuit = _resolve_circuit(args.circuit)
+    result = estimate(
         circuit,
         IndependentInputs(args.p_one),
         backend=args.backend,
         cache=_resolve_cli_cache(args),
+        fallback=args.fallback or None,
+        budget_seconds=args.budget_seconds,
     )
-    result = model.query(IndependentInputs(args.p_one))
-    cache_note = {True: "hit", False: "miss", None: "off"}[model.cache_hit]
+    cache_note = {True: "hit", False: "miss", None: "off"}[result.cache_hit]
     print(
-        f"{args.circuit}: {circuit.num_gates} gates, {result.segments} segment(s), "
+        f"{circuit.name}: {circuit.num_gates} gates, {result.segments} segment(s), "
         f"method {result.method}, cache {cache_note}, "
-        f"compile {model.compile_seconds:.3f}s, propagate {result.propagate_seconds:.3f}s"
+        f"compile {result.compile_seconds:.3f}s, propagate {result.propagate_seconds:.3f}s"
     )
+    for failed, reason in result.fallbacks:
+        print(f"  fallback: {failed} failed ({reason})")
     print(f"mean switching activity: {result.mean_activity():.4f}")
     outputs = [(ln, result.switching(ln)) for ln in circuit.outputs]
     print(
@@ -188,7 +219,7 @@ def _cmd_stats(args) -> None:
 
     obs.enable()
     tracer = obs.get_tracer()
-    circuit = suite.load_circuit(args.circuit)
+    circuit = _resolve_circuit(args.circuit)
     with tracer.span("stats.run", circuit=args.circuit):
         model = compile_model(
             circuit, IndependentInputs(args.p_one), backend="auto"
@@ -244,6 +275,32 @@ def _cmd_cache(args) -> None:
         print(f"removed {removed} artifact(s) from {cache.root}")
 
 
+def _cmd_fuzz(args) -> int:
+    """Differentially fuzz the exact backends against the oracle."""
+    from repro.core.backend import get_backend
+    from repro.testing.differential import DEFAULT_FUZZ_BACKENDS, run_fuzz
+
+    backends = tuple(args.backends) if args.backends else DEFAULT_FUZZ_BACKENDS
+    for name in backends:
+        get_backend(name)  # typos fail up front with the one-line error
+    report = run_fuzz(
+        seeds=args.seeds,
+        max_gates=args.max_gates,
+        max_inputs=args.max_inputs,
+        backends=backends,
+        atol=args.atol,
+        out_dir=Path(args.out),
+        seed_base=args.seed_base,
+        progress=lambda case: (
+            None
+            if case.ok
+            else print(f"seed {case.seed}: MISMATCH (reproducer: {case.reproducer})")
+        ),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Bayesian-network switching activity experiments"
@@ -277,12 +334,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pa.set_defaults(func=_cmd_ablations)
 
-    pe = sub.add_parser("estimate", help="estimate one suite circuit")
-    pe.add_argument("--circuit", required=True, choices=suite.FULL_SUITE)
+    pe = sub.add_parser("estimate", help="estimate one circuit (suite name or .bench path)")
+    pe.add_argument(
+        "--circuit", required=True, metavar="NAME_OR_BENCH",
+        help="suite circuit name, or path to a .bench netlist",
+    )
     pe.add_argument("--p-one", type=float, default=0.5)
     pe.add_argument(
         "--backend", default="auto",
         help="inference backend (see `repro.core.backend`); default: auto",
+    )
+    pe.add_argument(
+        "--fallback", action="store_true",
+        help="degrade through the default backend chain on compile failure",
+    )
+    pe.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget; once exceeded, jump to the cheapest fallback",
     )
     pe.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -307,7 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps = sub.add_parser(
         "stats", help="profile compile/propagate with the obs layer"
     )
-    ps.add_argument("--circuit", required=True, choices=suite.FULL_SUITE)
+    ps.add_argument(
+        "--circuit", required=True, metavar="NAME_OR_BENCH",
+        help="suite circuit name, or path to a .bench netlist",
+    )
     ps.add_argument("--p-one", type=float, default=0.5)
     ps.add_argument(
         "--repropagate-p-one", type=float, default=0.3,
@@ -317,13 +388,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the JSON report here")
     ps.set_defaults(func=_cmd_stats)
 
+    pz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz backends against the enumeration oracle",
+    )
+    pz.add_argument("--seeds", type=int, default=50,
+                    help="number of random cases (default: 50)")
+    pz.add_argument("--seed-base", type=int, default=0,
+                    help="first seed (default: 0)")
+    pz.add_argument("--max-gates", type=int, default=40,
+                    help="max gates per generated circuit (default: 40)")
+    pz.add_argument("--max-inputs", type=int, default=6,
+                    help="max primary inputs; bounds the 4^n oracle (default: 6)")
+    pz.add_argument(
+        "--backends", nargs="*", default=None, metavar="NAME",
+        help="backends to compare (default: junction-tree segmented enumeration)",
+    )
+    pz.add_argument("--atol", type=float, default=1e-10,
+                    help="per-entry tolerance on line distributions (default: 1e-10)")
+    pz.add_argument(
+        "--out", default="fuzz-failures", metavar="DIR",
+        help="directory for shrunk reproducers (default: fuzz-failures)",
+    )
+    pz.set_defaults(func=_cmd_fuzz)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    try:
+        rc = args.func(args)
+    except ReproError as exc:
+        # Anticipated, typed failures get a one-line message, not a
+        # traceback: the exit status is the machine-readable part.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    return int(rc or 0)
 
 
 if __name__ == "__main__":

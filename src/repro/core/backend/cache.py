@@ -18,12 +18,19 @@ when observability is enabled.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.circuits.netlist import Circuit
 from repro.core.backend.base import ARTIFACT_SCHEMA, CompiledModel
@@ -119,10 +126,60 @@ class CompileCache:
 
     SUFFIX = ".repro.pkl"
 
+    #: wall-clock ceiling for the non-POSIX claim-file lock before a
+    #: stale claim (crashed process) is stolen
+    LOCK_TIMEOUT_SECONDS = 30.0
+
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Inter-process locking
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _lock(self, shared: bool = False):
+        """Advisory inter-process lock over the cache directory.
+
+        Writers take it exclusive around the tmp-file write + rename,
+        readers shared around the artifact read, so a reader can never
+        interleave a partial view of an entry with a concurrent
+        replace.  Uses ``fcntl.flock`` where available and an
+        ``O_EXCL`` claim file elsewhere (exclusive-only, with a
+        stale-claim timeout so a crashed writer cannot wedge the
+        cache).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+            return
+        claim = self.root / ".lock.claim"  # pragma: no cover - non-POSIX
+        deadline = time.monotonic() + self.LOCK_TIMEOUT_SECONDS
+        while True:
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    with contextlib.suppress(OSError):
+                        os.unlink(claim)
+                    deadline = time.monotonic() + self.LOCK_TIMEOUT_SECONDS
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            os.close(fd)
+            with contextlib.suppress(OSError):
+                os.unlink(claim)
 
     # ------------------------------------------------------------------
     # Keys
@@ -158,8 +215,12 @@ class CompileCache:
         """Load the artifact under ``key``; ``None`` (a miss) when it is
         absent or unreadable.  Corrupt entries are evicted."""
         path = self.path_for(key)
+        if not self.root.is_dir():
+            self._record(hit=False)
+            return None
         try:
-            data = path.read_bytes()
+            with self._lock(shared=True):
+                data = path.read_bytes()
         except OSError:
             self._record(hit=False)
             return None
@@ -169,6 +230,10 @@ class CompileCache:
             # A stale or truncated artifact must never poison callers;
             # drop it and recompile.
             path.unlink(missing_ok=True)
+            self.evictions += 1
+            registry = get_metrics()
+            if registry.enabled:
+                registry.counter("cache.evictions").inc(1)
             self._record(hit=False)
             return None
         self._record(hit=True)
@@ -179,17 +244,18 @@ class CompileCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         data = model.to_bytes()
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with self._lock(shared=False):
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         return path
 
     # ------------------------------------------------------------------
@@ -232,8 +298,12 @@ class CompileCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """This process's hit/miss counters for the cache object."""
-        return {"hits": self.hits, "misses": self.misses}
+        """This process's hit/miss/eviction counters for the cache object."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     # ------------------------------------------------------------------
 

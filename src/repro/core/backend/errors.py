@@ -1,26 +1,19 @@
 """Exceptions of the inference-backend layer.
 
-This module is import-light on purpose: it is the home of errors that
-both the low-level engines (:mod:`repro.bayesian.junction`) and the
-high-level facade need, so it must not import either.
+As of the correctness-hardening PR these classes live in the
+consolidated :mod:`repro.errors` hierarchy; this module re-exports them
+so existing ``from repro.core.backend.errors import ...`` imports keep
+resolving to the same objects.  It stays import-light on purpose: both
+the low-level engines (:mod:`repro.bayesian.junction`) and the
+high-level facade import it, so it must not import either.
 """
 
 from __future__ import annotations
 
+from repro.errors import (
+    ArtifactSchemaError,
+    CliqueBudgetExceeded,
+    UnknownBackendError,
+)
+
 __all__ = ["ArtifactSchemaError", "CliqueBudgetExceeded", "UnknownBackendError"]
-
-
-class CliqueBudgetExceeded(RuntimeError):
-    """The triangulation produced a clique whose table would exceed the
-    caller's state-space budget.  Raised *before* any table is
-    materialized; callers fall back to segmentation (the ``"auto"``
-    backend does this automatically)."""
-
-
-class UnknownBackendError(KeyError):
-    """No backend is registered under the requested name."""
-
-
-class ArtifactSchemaError(RuntimeError):
-    """A serialized :class:`~repro.core.backend.base.CompiledModel` has
-    a missing or incompatible schema tag and cannot be loaded."""

@@ -32,10 +32,9 @@ from repro.core.cpt import _transition_function
 from repro.core.estimator import SwitchingEstimate
 from repro.core.inputs import InputModel
 from repro.core.states import N_STATES
+from repro.errors import SegmentTooWide
 
-
-class SegmentTooWide(RuntimeError):
-    """The segment has too many inputs for support enumeration."""
+__all__ = ["EnumerationSegment", "SegmentTooWide"]
 
 
 class EnumerationSegment:

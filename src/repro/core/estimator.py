@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +66,13 @@ class SwitchingEstimate:
     method: str = Method.SINGLE_BN.value
     #: number of Bayesian networks used
     segments: int = 1
+    #: degradation steps the facade took to produce this estimate, as
+    #: ``(failed backend, reason)`` pairs; empty when the first backend
+    #: in the chain succeeded.
+    fallbacks: Tuple[Tuple[str, str], ...] = ()
+    #: how the facade obtained the compiled model: ``True`` (cache hit),
+    #: ``False`` (miss), or ``None`` (no cache consulted / direct use)
+    cache_hit: Optional[bool] = None
 
     def switching(self, line: str) -> float:
         """Switching activity of one line: P(x01) + P(x10)."""

@@ -233,11 +233,19 @@ class CorrelatedGroupInputs(InputModel):
     Within each group the inputs form a chain: the first is drawn from
     the base model's marginal; each subsequent input *copies* its
     predecessor's transition state with probability ``rho`` and draws a
-    fresh state from its own marginal otherwise.  This keeps every
-    input's marginal equal to the base model's while inducing pairwise
-    state correlation ``rho`` between neighbours -- and it maps directly
-    onto extra input-to-input LIDAG edges, demonstrating the paper's
-    claim that input correlations fit the same BN machinery.
+    fresh state from its own base marginal otherwise.  The chain maps
+    directly onto extra input-to-input LIDAG edges, demonstrating the
+    paper's claim that input correlations fit the same BN machinery.
+
+    The copy process shifts marginals: a chained member's marginal is
+    ``rho * marginal(predecessor) + (1 - rho) * base(member)``, which
+    equals its base marginal only when the whole group shares one base
+    distribution.  :meth:`marginal_distribution` reports this *implied*
+    marginal so that it, the CPDs, and :meth:`sample_pairs` all describe
+    the same joint (the differential fuzz harness caught the earlier
+    inconsistency, which made the segmented backend report base
+    marginals for correlated inputs while exact propagation produced
+    the chain-implied ones).
 
     Parameters
     ----------
@@ -275,20 +283,29 @@ class CorrelatedGroupInputs(InputModel):
                 self._predecessor[name] = prev_name
 
     def marginal_distribution(self, name: str) -> np.ndarray:
-        return self.base.marginal_distribution(name)
+        """Chain-implied marginal (equals the base marginal for roots)."""
+        parent = self._predecessor.get(name)
+        if parent is None:
+            return self.base.marginal_distribution(name)
+        return (
+            self.rho * self.marginal_distribution(parent)
+            + (1.0 - self.rho) * self.base.marginal_distribution(name)
+        )
 
     def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
         available = set(input_names)
         cpds: List[TabularCPD] = []
         for name in input_names:
-            marginal = self.marginal_distribution(name)
             parent = self._predecessor.get(name)
             if parent is None or parent not in available:
-                cpds.append(TabularCPD.prior(name, marginal))
+                # Parent absent: marginalizing the chain over it leaves
+                # exactly the implied marginal as this input's prior.
+                cpds.append(TabularCPD.prior(name, self.marginal_distribution(name)))
             else:
+                fresh = self.base.marginal_distribution(name)
                 table = np.empty((N_STATES, N_STATES))
                 for parent_state in range(N_STATES):
-                    row = (1.0 - self.rho) * marginal
+                    row = (1.0 - self.rho) * fresh
                     row[parent_state] += self.rho
                     table[parent_state] = row
                 cpds.append(TabularCPD(name, N_STATES, table, [parent]))
@@ -304,12 +321,18 @@ class CorrelatedGroupInputs(InputModel):
         states = np.empty((n_pairs, len(input_names)), dtype=np.int64)
         for name in ordered:
             j = index[name]
-            dist = self.marginal_distribution(name)
-            fresh = rng.choice(N_STATES, size=n_pairs, p=dist)
             parent = self._predecessor.get(name)
             if parent is None or parent not in index:
-                states[:, j] = fresh
+                # Roots (and orphans whose parent is not sampled) draw
+                # from the implied marginal so subsets stay consistent.
+                dist = self.marginal_distribution(name)
+                states[:, j] = rng.choice(N_STATES, size=n_pairs, p=dist)
             else:
+                # The fresh part of the copy process uses the *base*
+                # marginal; copying the parent supplies the rest.
+                fresh = rng.choice(
+                    N_STATES, size=n_pairs, p=self.base.marginal_distribution(name)
+                )
                 copy_mask = rng.random(n_pairs) < self.rho
                 states[:, j] = np.where(copy_mask, states[:, index[parent]], fresh)
         return (

@@ -15,7 +15,7 @@ benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,6 +143,59 @@ class TreeBoundaryInputs(InputModel):
             previous_values(states).astype(np.uint8),
             current_values(states).astype(np.uint8),
         )
+
+
+class _SegmentInputs(InputModel):
+    """Composite per-segment input model.
+
+    A segment's input lines split into two kinds: *primary* inputs of
+    the full circuit, and *boundary* lines driven by upstream segments.
+    Primary inputs delegate to the user's input model -- preserving any
+    input-to-input correlation CPDs (e.g.
+    :class:`~repro.core.inputs.CorrelatedGroupInputs` chains) among the
+    primaries present in the segment -- while boundary lines use the
+    marginals (plus tree conditionals) refreshed from upstream segments.
+
+    Before this model existed, the segmentation replaced *every* input
+    line's statistics with bare marginals, silently dropping spatial
+    input correlation even for circuits small enough to fit a single
+    segment (found by the differential fuzz harness).
+    """
+
+    def __init__(
+        self, user_model: InputModel, primary: Iterable[str], boundary: InputModel
+    ):
+        self.user_model = user_model
+        self.primary = frozenset(primary)
+        self.boundary = boundary
+
+    def _split(self, input_names: Sequence[str]):
+        primary = [n for n in input_names if n in self.primary]
+        rest = [n for n in input_names if n not in self.primary]
+        return primary, rest
+
+    def marginal_distribution(self, name: str) -> np.ndarray:
+        if name in self.primary:
+            return self.user_model.marginal_distribution(name)
+        return self.boundary.marginal_distribution(name)
+
+    def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        primary, rest = self._split(input_names)
+        return self.user_model.input_cpds(primary) + self.boundary.input_cpds(rest)
+
+    def sample_pairs(self, input_names, n_pairs, rng):
+        primary, rest = self._split(input_names)
+        index = {name: j for j, name in enumerate(input_names)}
+        prev = np.empty((n_pairs, len(input_names)), dtype=np.uint8)
+        cur = np.empty_like(prev)
+        for names, model in ((primary, self.user_model), (rest, self.boundary)):
+            if not names:
+                continue
+            part_prev, part_cur = model.sample_pairs(names, n_pairs, rng)
+            for j, name in enumerate(names):
+                prev[:, index[name]] = part_prev[:, j]
+                cur[:, index[name]] = part_cur[:, j]
+        return prev, cur
 
 
 class _SegmentRegistry:
@@ -445,13 +498,7 @@ class SegmentedEstimator:
             segment = self.circuit.subcircuit(
                 lines, name=f"{self.circuit.name}.seg{label}"
             )
-            uniform = {name: np.full(N_STATES, 0.25) for name in segment.inputs}
-            if self.boundary == "tree":
-                parent_of = self._boundary_tree_for(segment.inputs, registry)
-                placeholder: InputModel = TreeBoundaryInputs(uniform, parent_of)
-            else:
-                parent_of = {}
-                placeholder = FixedMarginalInputs(uniform)
+            placeholder, parent_of = self._placeholder_inputs(segment, registry)
             try:
                 estimator = EnumerationSegment(
                     segment,
@@ -464,6 +511,43 @@ class SegmentedEstimator:
             registry.add(segment, estimator, owned, parent_of)
             return
         raise AssertionError("unexpanded enum chunk must fit its own budget")
+
+    def _split_segment_inputs(
+        self, segment: Circuit
+    ) -> Tuple[List[str], List[str]]:
+        """A segment's input lines, split into (primary, boundary).
+
+        Primary lines are primary inputs of the full circuit and keep
+        the user model's statistics (including correlation CPDs among
+        them); boundary lines are driven by upstream segments and carry
+        refreshed upstream marginals/conditionals.
+        """
+        primary = [
+            name for name in segment.inputs if self.circuit.driver(name) is None
+        ]
+        primary_set = set(primary)
+        boundary = [name for name in segment.inputs if name not in primary_set]
+        return primary, boundary
+
+    def _placeholder_inputs(
+        self, segment: Circuit, registry: _SegmentRegistry
+    ) -> Tuple[InputModel, Dict[str, str]]:
+        """Compile-time input model of a segment.
+
+        The *structure* (which input-to-input CPD edges exist) is baked
+        into the segment's LIDAG here; numbers are refreshed at every
+        :meth:`_propagate_segment`.  Primary inputs take their CPDs from
+        the user model, boundary lines start uniform.
+        """
+        primary, boundary_lines = self._split_segment_inputs(segment)
+        uniform = {name: np.full(N_STATES, 0.25) for name in boundary_lines}
+        if self.boundary == "tree":
+            parent_of = self._boundary_tree_for(segment.inputs, registry)
+            inner: InputModel = TreeBoundaryInputs(uniform, parent_of)
+        else:
+            parent_of = {}
+            inner = FixedMarginalInputs(uniform)
+        return _SegmentInputs(self.input_model, primary, inner), parent_of
 
     def _boundary_tree_for(
         self, inputs: Sequence[str], registry: _SegmentRegistry
@@ -598,13 +682,7 @@ class SegmentedEstimator:
         }
         lines = sorted(expanded | sources, key=self._position.__getitem__)
         segment = self.circuit.subcircuit(lines, name=f"{self.circuit.name}.seg{label}")
-        uniform = {name: np.full(N_STATES, 0.25) for name in segment.inputs}
-        if self.boundary == "tree":
-            parent_of = self._boundary_tree_for(segment.inputs, registry)
-            placeholder: InputModel = TreeBoundaryInputs(uniform, parent_of)
-        else:
-            parent_of = {}
-            placeholder = FixedMarginalInputs(uniform)
+        placeholder, parent_of = self._placeholder_inputs(segment, registry)
         estimator = SwitchingActivityEstimator(
             segment,
             input_model=placeholder,
@@ -744,7 +822,8 @@ class SegmentedEstimator:
         with get_tracer().span(
             "segment.propagate", parent=parent_span, segment=segment.name
         ):
-            priors = {name: known[name] for name in segment.inputs}
+            primary, boundary_lines = self._split_segment_inputs(segment)
+            priors = {name: known[name] for name in boundary_lines}
             parent_of = self._boundary_trees[index]
             if parent_of:
                 conditionals = {
@@ -758,7 +837,9 @@ class SegmentedEstimator:
                 )
             else:
                 boundary = FixedMarginalInputs(priors)
-            estimator.update_inputs(boundary)
+            estimator.update_inputs(
+                _SegmentInputs(self.input_model, primary, boundary)
+            )
             result = estimator.estimate()
         # Only the owned chunk publishes estimates; duplicated lookback
         # gates exist solely to rebuild local correlation.

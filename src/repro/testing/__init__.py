@@ -1,0 +1,27 @@
+"""Testing utilities: the cross-backend differential fuzz harness.
+
+This package is part of the library (not the test suite) so the
+``repro fuzz`` CLI and CI can drive it, and so downstream users can
+fuzz their own backends registered via
+:func:`repro.core.backend.register_backend`.
+"""
+
+from repro.testing.differential import (
+    FuzzCase,
+    FuzzReport,
+    Mismatch,
+    input_model_from_json,
+    input_model_to_json,
+    make_case,
+    run_fuzz,
+)
+
+__all__ = [
+    "FuzzCase",
+    "FuzzReport",
+    "Mismatch",
+    "input_model_from_json",
+    "input_model_to_json",
+    "make_case",
+    "run_fuzz",
+]

@@ -1,0 +1,470 @@
+"""Differential fuzzing of estimation backends against the oracle.
+
+Theorem 3 makes a falsifiable promise: on *any* well-formed
+combinational circuit, junction-tree propagation over the LIDAG is
+exact.  The curated Table-1 suite exercises a handful of shapes; this
+harness generates random circuits (:func:`~repro.circuits.generate.
+random_layered_circuit`) crossed with random input models --
+independent (including hard 0/1 probabilities), spatially correlated
+groups, zero-smoothing traces, and lag-1 temporal streams -- runs each
+configured backend, and compares every line's 4-state transition
+distribution against :func:`~repro.core.estimator.
+exact_switching_by_enumeration`, a separate dict-based enumeration that
+shares no code with the backends under test.
+
+On a mismatch (or a backend crash) the failing case is *shrunk* --
+re-tried on the fanin cone of each mismatching line, smallest cone
+first, with the input model restricted to the surviving inputs -- and a
+reproducer is written out as a ``.bench`` netlist plus a JSON input
+model that :func:`input_model_from_json` loads back.
+
+Drive it from Python (:func:`run_fuzz`) or the CLI (``repro fuzz``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.bench import to_bench, write_bench_file
+from repro.circuits.generate import random_layered_circuit
+from repro.circuits.netlist import Circuit
+from repro.core.backend.facade import compile_model
+from repro.core.estimator import exact_switching_by_enumeration
+from repro.core.inputs import (
+    CorrelatedGroupInputs,
+    IndependentInputs,
+    InputModel,
+    TemporalInputs,
+    TraceInputs,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_FUZZ_BACKENDS",
+    "FuzzCase",
+    "FuzzReport",
+    "Mismatch",
+    "input_model_from_json",
+    "input_model_to_json",
+    "make_case",
+    "restrict_model_spec",
+    "run_fuzz",
+    "shrink_case",
+]
+
+#: The exact backends whose agreement with the oracle is an invariant.
+#: Approximate baselines (pairwise, local-cone, ...) are *expected* to
+#: deviate and are deliberately absent.
+DEFAULT_FUZZ_BACKENDS: Tuple[str, ...] = (
+    "junction-tree",
+    "segmented",
+    "enumeration",
+)
+
+#: JSON schema tag of reproducer input-model files.
+INPUT_MODEL_SCHEMA = "repro.inputs/v1"
+
+
+# ----------------------------------------------------------------------
+# Input-model (de)serialization -- the reproducer side channel
+# ----------------------------------------------------------------------
+
+
+def input_model_to_json(spec: Dict) -> Dict:
+    """Wrap a model *spec* (see :func:`make_case`) as a JSON document."""
+    return {"schema": INPUT_MODEL_SCHEMA, **spec}
+
+
+def input_model_from_json(data: Dict) -> InputModel:
+    """Rebuild an :class:`InputModel` from a reproducer JSON document."""
+    schema = data.get("schema", INPUT_MODEL_SCHEMA)
+    if schema != INPUT_MODEL_SCHEMA:
+        raise ReproError(f"unknown input-model schema {schema!r}")
+    kind = data["kind"]
+    if kind == "independent":
+        return IndependentInputs({k: float(v) for k, v in data["p_one"].items()})
+    if kind == "temporal":
+        return TemporalInputs(
+            p_one={k: float(v) for k, v in data["p_one"].items()},
+            activity={k: float(v) for k, v in data["activity"].items()},
+        )
+    if kind == "trace":
+        return TraceInputs(
+            np.asarray(data["trace"], dtype=np.uint8),
+            list(data["input_names"]),
+            smoothing=float(data["smoothing"]),
+        )
+    if kind == "correlated":
+        base = IndependentInputs(
+            {k: float(v) for k, v in data["base_p_one"].items()}
+        )
+        groups = [tuple(g) for g in data["groups"]]
+        if not groups:
+            return base
+        return CorrelatedGroupInputs(groups, rho=float(data["rho"]), base=base)
+    raise ReproError(f"unknown input-model kind {kind!r}")
+
+
+def restrict_model_spec(spec: Dict, input_names: Sequence[str]) -> Dict:
+    """Restrict a model spec to a subset of inputs (used by shrinking)."""
+    names = list(input_names)
+    name_set = set(names)
+    kind = spec["kind"]
+    if kind == "independent":
+        return {
+            "kind": kind,
+            "p_one": {k: v for k, v in spec["p_one"].items() if k in name_set},
+        }
+    if kind == "temporal":
+        return {
+            "kind": kind,
+            "p_one": {k: v for k, v in spec["p_one"].items() if k in name_set},
+            "activity": {
+                k: v for k, v in spec["activity"].items() if k in name_set
+            },
+        }
+    if kind == "trace":
+        columns = [
+            j for j, name in enumerate(spec["input_names"]) if name in name_set
+        ]
+        kept = [spec["input_names"][j] for j in columns]
+        trace = np.asarray(spec["trace"])[:, columns]
+        return {
+            "kind": kind,
+            "trace": trace.tolist(),
+            "input_names": kept,
+            "smoothing": spec["smoothing"],
+        }
+    if kind == "correlated":
+        groups = [
+            [n for n in group if n in name_set] for group in spec["groups"]
+        ]
+        groups = [g for g in groups if len(g) >= 2]
+        return {
+            "kind": kind,
+            "groups": groups,
+            "rho": spec["rho"],
+            "base_p_one": {
+                k: v for k, v in spec["base_p_one"].items() if k in name_set
+            },
+        }
+    raise ReproError(f"unknown input-model kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+
+_MODEL_KINDS = ("independent", "correlated", "trace", "temporal")
+
+
+def make_case(
+    seed: int, max_gates: int = 40, max_inputs: int = 6
+) -> Tuple[Circuit, Dict]:
+    """Deterministically generate one fuzz case: a circuit + model spec.
+
+    The circuit is a random layered netlist small enough for the
+    ``4^inputs`` oracle; the model kind rotates with the seed.  Every
+    fifth seed pins some input probabilities to exactly 0 or 1 so
+    zero-mass transition states reach the propagation kernels.
+    """
+    rng = np.random.default_rng(seed)
+    n_inputs = int(rng.integers(3, max_inputs + 1))
+    n_gates = int(rng.integers(3, max_gates + 1))
+    circuit = random_layered_circuit(
+        n_inputs=n_inputs, n_gates=n_gates, seed=seed, name=f"fuzz{seed}"
+    )
+    kind = _MODEL_KINDS[seed % len(_MODEL_KINDS)]
+    extreme = seed % 5 == 0
+    def p_draw() -> float:
+        if extreme and rng.random() < 0.4:
+            return float(rng.integers(0, 2))
+        return float(np.round(rng.uniform(0.02, 0.98), 6))
+
+    if kind == "independent":
+        spec: Dict = {
+            "kind": kind,
+            "p_one": {name: p_draw() for name in circuit.inputs},
+        }
+    elif kind == "temporal":
+        # activity/2 <= min(p, 1-p) keeps the lag-1 Markov chain feasible;
+        # extreme seeds sit exactly on that boundary.
+        p_one = {
+            name: float(np.round(rng.uniform(0.05, 0.95), 6))
+            for name in circuit.inputs
+        }
+        activity = {}
+        for name, p in p_one.items():
+            ceiling = 2.0 * min(p, 1.0 - p)
+            frac = 1.0 if (extreme and rng.random() < 0.4) else rng.uniform(0.05, 0.95)
+            activity[name] = float(np.round(ceiling * frac, 6))
+        spec = {"kind": kind, "p_one": p_one, "activity": activity}
+    elif kind == "trace":
+        n_cycles = int(rng.integers(4, 24))
+        trace = rng.integers(0, 2, size=(n_cycles, n_inputs))
+        if extreme:
+            trace[:, 0] = 1  # a constant column: three states get zero mass
+        spec = {
+            "kind": kind,
+            "trace": trace.tolist(),
+            "input_names": list(circuit.inputs),
+            "smoothing": 0.0,
+        }
+    else:  # correlated
+        names = list(circuit.inputs)
+        split = max(2, n_inputs // 2)
+        groups = [names[:split]]
+        if n_inputs - split >= 2:
+            groups.append(names[split:])
+        rho = 1.0 if extreme else float(np.round(rng.uniform(0.1, 0.95), 6))
+        spec = {
+            "kind": kind,
+            "groups": [list(g) for g in groups],
+            "rho": rho,
+            "base_p_one": {name: p_draw() for name in names},
+        }
+    return circuit, spec
+
+
+# ----------------------------------------------------------------------
+# Differential execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Mismatch:
+    """One backend/line disagreement with the oracle (or a crash)."""
+
+    backend: str
+    line: Optional[str]
+    max_abs_error: float
+    error: Optional[str] = None  # exception text when the backend crashed
+
+    def as_dict(self) -> Dict:
+        return {
+            "backend": self.backend,
+            "line": self.line,
+            "max_abs_error": self.max_abs_error,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FuzzCase:
+    """Outcome of one seed."""
+
+    seed: int
+    circuit: Circuit
+    model_spec: Dict
+    mismatches: List[Mismatch] = field(default_factory=list)
+    reproducer: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a whole fuzz run."""
+
+    seeds: int
+    atol: float
+    backends: Tuple[str, ...]
+    cases: List[FuzzCase] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[FuzzCase]:
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.seeds} seed(s), backends {list(self.backends)}, "
+            f"atol {self.atol:g}: "
+            f"{len(self.cases) - len(self.failures)} ok, "
+            f"{len(self.failures)} failing"
+        ]
+        for case in self.failures:
+            worst = max(m.max_abs_error for m in case.mismatches)
+            crashed = [m.backend for m in case.mismatches if m.error]
+            note = f", crashed: {sorted(set(crashed))}" if crashed else ""
+            lines.append(
+                f"  seed {case.seed} ({case.circuit.name}): "
+                f"{len(case.mismatches)} mismatch(es), worst {worst:.3g}{note}"
+                + (f" -> {case.reproducer}" if case.reproducer else "")
+            )
+        return "\n".join(lines)
+
+
+def _diff_case(
+    circuit: Circuit,
+    model: InputModel,
+    backends: Sequence[str],
+    atol: float,
+) -> List[Mismatch]:
+    """Run every backend on one case; return all disagreements."""
+    oracle = exact_switching_by_enumeration(circuit, model)
+    mismatches: List[Mismatch] = []
+    for backend in backends:
+        try:
+            compiled = compile_model(circuit, model, backend=backend)
+            result = compiled.query(model)
+        except Exception as exc:  # crashes are findings, not aborts
+            mismatches.append(
+                Mismatch(
+                    backend=backend,
+                    line=None,
+                    max_abs_error=float("inf"),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        worst_line: Optional[str] = None
+        worst = 0.0
+        for line, expected in oracle.items():
+            got = result.distributions.get(line)
+            if got is None:
+                worst_line, worst = line, float("inf")
+                break
+            err = float(np.abs(np.asarray(got) - expected).max())
+            if err > worst:
+                worst_line, worst = line, err
+        if worst > atol:
+            mismatches.append(
+                Mismatch(backend=backend, line=worst_line, max_abs_error=worst)
+            )
+    return mismatches
+
+
+def shrink_case(
+    circuit: Circuit,
+    model_spec: Dict,
+    backends: Sequence[str],
+    atol: float,
+) -> Tuple[Circuit, Dict, List[Mismatch]]:
+    """Shrink a failing case to the smallest still-failing fanin cone.
+
+    Candidate subcircuits are the transitive fanin cones of each
+    mismatching line (plus crashing backends keep the whole circuit as
+    a candidate), tried smallest first; the input model is restricted
+    to each cone's surviving primary inputs.
+    """
+    mismatches = _diff_case(
+        circuit, input_model_from_json(input_model_to_json(model_spec)),
+        backends, atol,
+    )
+    lines = sorted(
+        {m.line for m in mismatches if m.line is not None},
+        key=lambda ln: len(circuit.fanin_cone(ln)),
+    )
+    for line in lines:
+        cone = circuit.fanin_cone(line)
+        sub = circuit.subcircuit(cone, name=f"{circuit.name}.cone")
+        sub_spec = restrict_model_spec(model_spec, sub.inputs)
+        try:
+            sub_model = input_model_from_json(input_model_to_json(sub_spec))
+            sub_mismatches = _diff_case(sub, sub_model, backends, atol)
+        except Exception:
+            continue
+        if sub_mismatches:
+            return sub, sub_spec, sub_mismatches
+    return circuit, model_spec, mismatches
+
+
+def _write_reproducer(
+    out_dir: Path,
+    seed: int,
+    circuit: Circuit,
+    model_spec: Dict,
+    mismatches: List[Mismatch],
+    atol: float,
+) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"seed{seed}"
+    bench_path = out_dir / f"{stem}.bench"
+    write_bench_file(circuit, bench_path)
+    with open(out_dir / f"{stem}.inputs.json", "w") as fh:
+        json.dump(input_model_to_json(model_spec), fh, indent=2)
+        fh.write("\n")
+    with open(out_dir / f"{stem}.report.json", "w") as fh:
+        json.dump(
+            {
+                "seed": seed,
+                "atol": atol,
+                "circuit": circuit.name,
+                "gates": circuit.num_gates,
+                "inputs": circuit.num_inputs,
+                "mismatches": [m.as_dict() for m in mismatches],
+                "bench": to_bench(circuit),
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")
+    return bench_path
+
+
+def run_fuzz(
+    seeds: int = 50,
+    max_gates: int = 40,
+    max_inputs: int = 6,
+    backends: Sequence[str] = DEFAULT_FUZZ_BACKENDS,
+    atol: float = 1e-10,
+    out_dir: Optional[Path] = None,
+    seed_base: int = 0,
+    progress=None,
+) -> FuzzReport:
+    """Differentially fuzz ``seeds`` random cases; shrink + dump failures.
+
+    Parameters
+    ----------
+    seeds:
+        Number of cases; seeds run ``seed_base .. seed_base+seeds-1``.
+    max_gates, max_inputs:
+        Upper bounds on generated circuit size (``max_inputs`` also
+        bounds the ``4^n`` oracle cost; keep it <= 8).
+    backends:
+        Backend names to compare against the oracle.
+    atol:
+        Per-entry tolerance on each line's 4-state distribution.
+    out_dir:
+        Where reproducers for failing (shrunk) cases are written;
+        ``None`` disables reproducer emission.
+    progress:
+        Optional callback ``progress(case: FuzzCase)`` after each seed.
+    """
+    report = FuzzReport(seeds=seeds, atol=atol, backends=tuple(backends))
+    for seed in range(seed_base, seed_base + seeds):
+        circuit, spec = make_case(seed, max_gates=max_gates, max_inputs=max_inputs)
+        model = input_model_from_json(input_model_to_json(spec))
+        mismatches = _diff_case(circuit, model, backends, atol)
+        case = FuzzCase(seed=seed, circuit=circuit, model_spec=spec)
+        if mismatches:
+            shrunk_circuit, shrunk_spec, shrunk_mismatches = shrink_case(
+                circuit, spec, backends, atol
+            )
+            case.circuit = shrunk_circuit
+            case.model_spec = shrunk_spec
+            case.mismatches = shrunk_mismatches or mismatches
+            if out_dir is not None:
+                case.reproducer = _write_reproducer(
+                    Path(out_dir),
+                    seed,
+                    case.circuit,
+                    case.model_spec,
+                    case.mismatches,
+                    atol,
+                )
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+    return report

@@ -51,11 +51,11 @@ def test_miss_then_hit_with_identical_results(tmp_path):
 
     first = compile_model(circuit, backend="junction-tree", cache=cache)
     assert first.cache_hit is False
-    assert cache.stats() == {"hits": 0, "misses": 1}
+    assert cache.stats() == {"hits": 0, "misses": 1, "evictions": 0}
 
     second = compile_model(circuit, backend="junction-tree", cache=cache)
     assert second.cache_hit is True
-    assert cache.stats() == {"hits": 1, "misses": 1}
+    assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
 
     a = first.query()
     b = second.query()

@@ -1,0 +1,77 @@
+"""Multi-process compile-cache stress: concurrent writers, zero corruption.
+
+Before the inter-process lock, two processes could interleave a read
+with a concurrent replace of the same entry; a torn read counted as a
+corrupt-entry eviction.  With the lock, an arbitrary mix of concurrent
+readers and writers must finish with every query answered and the
+eviction counter at exactly zero in every process.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.backend import CompileCache, compile_model
+
+
+def _hammer(root, worker_seed, n_iter, queue):
+    """One worker: repeatedly compile-or-load two circuits via the cache."""
+    try:
+        from repro.circuits import suite
+        from repro.circuits.examples import c17
+
+        cache = CompileCache(root)
+        circuits = [c17(), suite.load_circuit("alu")]
+        for i in range(n_iter):
+            circuit = circuits[(worker_seed + i) % len(circuits)]
+            model = compile_model(circuit, backend="junction-tree", cache=cache)
+            result = model.query()
+            assert result.mean_activity() > 0
+        queue.put(("ok", cache.stats()))
+    except Exception as exc:  # pragma: no cover - only on regression
+        queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+@pytest.mark.parametrize("n_workers,n_iter", [(4, 6)])
+def test_concurrent_processes_never_corrupt_the_cache(tmp_path, n_workers, n_iter):
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_hammer, args=(str(tmp_path), seed, n_iter, queue))
+        for seed in range(n_workers)
+    ]
+    for proc in workers:
+        proc.start()
+    results = [queue.get(timeout=120) for _ in workers]
+    for proc in workers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    failures = [detail for status, detail in results if status != "ok"]
+    assert not failures, failures
+
+    stats = [detail for status, detail in results if status == "ok"]
+    assert len(stats) == n_workers
+    # The acceptance criterion: no worker ever saw a corrupt entry.
+    assert sum(s["evictions"] for s in stats) == 0
+    assert sum(s["hits"] + s["misses"] for s in stats) == n_workers * n_iter
+
+    # The shared directory ends with exactly the two circuit artifacts,
+    # both loadable.
+    cache = CompileCache(tmp_path)
+    entries = cache.entries()
+    assert {e.circuit for e in entries} == {"c17", "alu"}
+    for entry in entries:
+        assert cache.get(entry.key) is not None
+    assert cache.stats()["evictions"] == 0
+
+
+def test_lock_is_reentrant_across_get_and_put(tmp_path):
+    """Same-process sanity: lock acquire/release pairs leave no claim."""
+    from repro.circuits.examples import c17
+
+    cache = CompileCache(tmp_path)
+    compile_model(c17(), backend="junction-tree", cache=cache)
+    compile_model(c17(), backend="junction-tree", cache=cache)
+    assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
+    assert not (tmp_path / ".lock.claim").exists()

@@ -1,0 +1,161 @@
+"""Graceful degradation through the facade's fallback chain."""
+
+import pytest
+
+from repro import obs
+from repro.circuits.examples import c17
+from repro.core.backend import estimate, register_backend
+from repro.core.backend.base import Backend
+from repro.core.backend.facade import DEFAULT_FALLBACK_CHAIN, _resolve_chain
+from repro.core.backend.registry import _REGISTRY
+from repro.core.inputs import IndependentInputs
+from repro.errors import CliqueBudgetExceeded, CompileError, FallbackExhausted
+
+
+class _AlwaysFails(Backend):
+    """Registered-for-test backend that fails with a typed CompileError."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def compile(self, circuit, inputs=None, **options):
+        raise CompileError(f"{self.name} cannot compile {circuit.name}")
+
+
+class _UntypedCrash(Backend):
+    def __init__(self, name):
+        self.name = name
+
+    def compile(self, circuit, inputs=None, **options):
+        raise ValueError("untyped bug, not a capacity failure")
+
+
+@pytest.fixture
+def failing_backend():
+    backend = _AlwaysFails("fails-for-test")
+    register_backend(backend)
+    yield backend
+    _REGISTRY.pop(backend.name, None)
+
+
+@pytest.fixture
+def failing_backend_2():
+    backend = _AlwaysFails("fails-for-test-2")
+    register_backend(backend)
+    yield backend
+    _REGISTRY.pop(backend.name, None)
+
+
+class TestChainResolution:
+    def test_no_fallback_is_singleton(self):
+        assert _resolve_chain("auto", None) == ("auto",)
+        assert _resolve_chain("auto", False) == ("auto",)
+
+    def test_true_appends_default_chain_deduped(self):
+        chain = _resolve_chain("junction-tree", True)
+        assert chain[0] == "junction-tree"
+        assert chain == ("junction-tree",) + tuple(
+            n for n in DEFAULT_FALLBACK_CHAIN if n != "junction-tree"
+        )
+
+    def test_string_and_sequence_forms(self):
+        assert _resolve_chain("junction-tree", "enumeration") == (
+            "junction-tree",
+            "enumeration",
+        )
+        assert _resolve_chain("a", ["b", "c", "a"]) == ("a", "b", "c")
+
+
+class TestDegradation:
+    def test_budget_failure_advances_chain(self):
+        result = estimate(
+            c17(),
+            IndependentInputs(0.5),
+            backend="junction-tree",
+            fallback=True,
+            max_clique_states=4,  # impossible budget: JT must fail
+        )
+        assert len(result.fallbacks) >= 1
+        failed, reason = result.fallbacks[0]
+        assert failed == "junction-tree"
+        assert "CliqueBudgetExceeded" in reason
+
+    def test_no_fallback_raises_unwrapped(self):
+        with pytest.raises(CliqueBudgetExceeded):
+            estimate(
+                c17(),
+                backend="junction-tree",
+                max_clique_states=4,
+            )
+
+    def test_successful_first_backend_records_nothing(self):
+        result = estimate(c17(), backend="junction-tree", fallback=True)
+        assert result.fallbacks == ()
+
+    def test_untyped_errors_are_not_swallowed(self, failing_backend):
+        crash = _UntypedCrash("crash-untyped-test")
+        register_backend(crash)
+        try:
+            with pytest.raises(ValueError, match="untyped bug"):
+                estimate(c17(), backend=crash.name, fallback="junction-tree")
+        finally:
+            _REGISTRY.pop(crash.name, None)
+
+    def test_exhausted_chain_raises_with_cause(
+        self, failing_backend, failing_backend_2
+    ):
+        with pytest.raises(FallbackExhausted) as info:
+            estimate(
+                c17(),
+                backend=failing_backend.name,
+                fallback=failing_backend_2.name,
+            )
+        assert isinstance(info.value.__cause__, CompileError)
+        assert failing_backend.name in str(info.value)
+
+    def test_options_unknown_to_fallback_are_dropped(self, failing_backend):
+        # heuristic= means nothing to the enumeration backend; the
+        # degradation step must not die on a TypeError for it.
+        result = estimate(
+            c17(),
+            backend=failing_backend.name,
+            fallback="enumeration",
+            heuristic="min-fill",
+        )
+        assert result.fallbacks[0][0] == failing_backend.name
+        assert result.mean_activity() > 0
+
+
+class TestBudgetSeconds:
+    def test_exhausted_budget_jumps_to_last_entry(self, failing_backend):
+        result = estimate(
+            c17(),
+            backend="junction-tree",
+            fallback=(failing_backend.name, "local-cone"),
+            budget_seconds=0.0,  # already exhausted: skip straight to last
+        )
+        assert result.fallbacks == (("junction-tree", "budget exhausted"),)
+        assert result.method == "local-cone"
+
+    def test_generous_budget_changes_nothing(self):
+        result = estimate(
+            c17(), backend="junction-tree", fallback=True, budget_seconds=3600
+        )
+        assert result.fallbacks == ()
+
+
+class TestObsCounter:
+    def test_fallback_counter_increments(self):
+        obs.enable()
+        try:
+            estimate(
+                c17(),
+                backend="junction-tree",
+                fallback=True,
+                max_clique_states=4,
+            )
+            snapshot = obs.get_metrics().snapshot()
+            assert snapshot["counters"]["estimate.fallback"] >= 1
+        finally:
+            obs.disable()
+            obs.reset()

@@ -1,0 +1,81 @@
+"""Malformed ``.bench`` fixtures must be rejected with typed errors.
+
+Each fixture under ``tests/circuits/fixtures/`` captures one historical
+parser gap: duplicate gate definitions, duplicate ``INPUT``
+declarations, operands that are never defined, ``OUTPUT`` of undefined
+lines, gate-driven primary inputs, and combinational cycles all used to
+slip through parsing and fail (or worse, silently mis-estimate) deep in
+the pipeline.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.bench import parse_bench, parse_bench_file
+from repro.errors import (
+    BenchFormatError,
+    CombinationalCycleError,
+    ValidationError,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.mark.parametrize(
+    "fixture, match",
+    [
+        ("dup_gate.bench", r"line 6: gate output 'y' already defined at line 5"),
+        ("dup_input.bench", r"line 3: INPUT 'a' already defined at line 2"),
+        ("input_driven.bench", r"line 5: gate output 'b' already defined at line 3"),
+        ("undefined_operand.bench", r"line 4: gate 'y' reads 'ghost', which is never defined"),
+        ("undefined_output.bench", r"line 3: OUTPUT\(ghost\) is never defined"),
+    ],
+)
+def test_malformed_fixture_raises_bench_format_error(fixture, match):
+    with pytest.raises(BenchFormatError, match=match):
+        parse_bench_file(FIXTURES / fixture)
+
+
+def test_cycle_fixture_raises_cycle_error():
+    with pytest.raises(CombinationalCycleError, match="combinational cycle"):
+        parse_bench_file(FIXTURES / "cycle.bench")
+
+
+def test_every_fixture_is_covered():
+    """A new fixture without a matching test case should fail loudly."""
+    covered = {
+        "dup_gate.bench",
+        "dup_input.bench",
+        "input_driven.bench",
+        "undefined_operand.bench",
+        "undefined_output.bench",
+        "cycle.bench",
+    }
+    assert {p.name for p in FIXTURES.glob("*.bench")} == covered
+
+
+def test_all_fixtures_rejected_with_typed_error():
+    """Acceptance sweep: no fixture parses, none dies untyped."""
+    for path in FIXTURES.glob("*.bench"):
+        with pytest.raises(ValidationError):
+            parse_bench_file(path)
+
+
+def test_duplicate_gate_reported_at_second_definition():
+    text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"
+    with pytest.raises(BenchFormatError, match="line 4.*already defined at line 3"):
+        parse_bench(text, "dup")
+
+
+def test_dff_output_collision_rejected():
+    text = "INPUT(a)\nOUTPUT(q)\nq = NOT(a)\nq = DFF(a)\n"
+    with pytest.raises(BenchFormatError, match="already defined"):
+        parse_bench(text, "dffdup")
+
+
+def test_operand_defined_later_is_accepted():
+    """Forward references are legal .bench; only never-defined operands fail."""
+    text = "INPUT(a)\nOUTPUT(y)\ny = NOT(mid)\nmid = BUF(a)\n"
+    circuit = parse_bench(text, "fwd")
+    assert set(circuit.gates) == {"y", "mid"}

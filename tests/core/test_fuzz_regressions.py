@@ -1,0 +1,127 @@
+"""Regression tests for bugs found by the differential fuzz harness.
+
+Each test pins one concrete case the harness shrank, checked against
+the independent enumeration oracle at tight tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generate import random_layered_circuit
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Gate
+from repro.core.backend import estimate
+from repro.core.estimator import exact_switching_by_enumeration
+from repro.core.inputs import CorrelatedGroupInputs, IndependentInputs, TraceInputs
+
+ATOL = 1e-10
+
+
+def _assert_matches_oracle(circuit, model, backend):
+    oracle = exact_switching_by_enumeration(circuit, model)
+    result = estimate(circuit, model, backend=backend, validate=True)
+    for line, expected in oracle.items():
+        got = result.distributions[line]
+        assert np.all(np.isfinite(got)), f"{backend}: non-finite at {line}"
+        np.testing.assert_allclose(
+            got, expected, atol=ATOL,
+            err_msg=f"{backend} disagrees with oracle at {line}",
+        )
+
+
+class TestCorrelatedGroupMarginals:
+    """Fuzz seed 1: segmented reported base marginals for correlated
+    inputs while the chain CPDs imply shifted ones."""
+
+    def _model(self):
+        base = IndependentInputs(
+            {"i0": 0.158393, "i1": 0.930703, "i2": 0.319358, "i3": 0.426393}
+        )
+        return CorrelatedGroupInputs(
+            [("i0", "i1"), ("i2", "i3")], rho=0.907894, base=base
+        )
+
+    def _circuit(self):
+        return random_layered_circuit(n_inputs=4, n_gates=8, seed=1, name="fuzz1")
+
+    def test_marginal_is_chain_implied(self):
+        model = self._model()
+        # i1 mostly copies i0 at rho ~0.91: its marginal must sit near
+        # i0's, far from its own base of 0.93.
+        prior_i0 = model.marginal_distribution("i0")
+        implied = model.marginal_distribution("i1")
+        base_i1 = model.base.marginal_distribution("i1")
+        np.testing.assert_allclose(
+            implied, 0.907894 * prior_i0 + (1 - 0.907894) * base_i1
+        )
+        assert np.abs(implied - base_i1).max() > 0.1
+
+    def test_cpds_and_marginals_describe_same_joint(self):
+        model = self._model()
+        cpds = {c.variable: c for c in model.input_cpds(["i0", "i1"])}
+        prior = cpds["i0"].to_factor().values
+        table = cpds["i1"].to_factor().values.reshape(4, 4)
+        np.testing.assert_allclose(
+            np.einsum("p,pc->c", prior, table),
+            model.marginal_distribution("i1"),
+        )
+
+    @pytest.mark.parametrize("backend", ["junction-tree", "segmented", "enumeration"])
+    def test_backends_match_oracle(self, backend):
+        _assert_matches_oracle(self._circuit(), self._model(), backend)
+
+    def test_segmented_matches_even_when_chunked(self):
+        """Force multiple segments so boundary handling is exercised."""
+        circuit = random_layered_circuit(n_inputs=4, n_gates=20, seed=1, name="fz")
+        model = self._model()
+        oracle = exact_switching_by_enumeration(circuit, model)
+        result = estimate(
+            circuit, model, backend="segmented", max_gates_per_segment=4
+        )
+        for name in circuit.inputs:
+            np.testing.assert_allclose(
+                result.distributions[name], oracle[name], atol=1e-9
+            )
+
+
+class TestZeroSmoothingTraces:
+    """A zero-smoothing trace with a constant column puts hard zeros in
+    three of an input's four transition states; propagation must stay
+    finite and exact."""
+
+    def _case(self):
+        rng = np.random.default_rng(42)
+        trace = rng.integers(0, 2, size=(12, 3)).astype(np.uint8)
+        trace[:, 0] = 1  # constant input: only the 1->1 state has mass
+        circuit = Circuit(
+            "zs",
+            ["a", "b", "c"],
+            [
+                Gate("d", GateType.AND, ["a", "b"]),
+                Gate("e", GateType.XOR, ["b", "c"]),
+                Gate("f", GateType.OR, ["d", "e"]),
+            ],
+        )
+        model = TraceInputs(trace, ["a", "b", "c"], smoothing=0.0)
+        return circuit, model
+
+    def test_zero_mass_states_survive_validation(self):
+        from repro.core.validate import validate
+
+        circuit, model = self._case()
+        validate(circuit, model)
+        assert model.marginal_distribution("a")[3] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("backend", ["junction-tree", "segmented", "enumeration"])
+    def test_backends_match_oracle(self, backend):
+        circuit, model = self._case()
+        _assert_matches_oracle(circuit, model, backend)
+
+    def test_hard_zero_independent_inputs(self):
+        """p=0 and p=1 inputs (stuck lines) propagate exactly."""
+        circuit = random_layered_circuit(n_inputs=4, n_gates=10, seed=5, name="hz")
+        model = IndependentInputs(
+            {name: p for name, p in zip(circuit.inputs, (0.0, 1.0, 0.5, 0.25))}
+        )
+        for backend in ("junction-tree", "segmented", "enumeration"):
+            _assert_matches_oracle(circuit, model, backend)

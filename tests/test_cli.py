@@ -125,3 +125,77 @@ def test_stats_subcommand_reports_span_tree(
     assert "backend.compile" in names
     assert "backend.query" in names
     assert "estimator.compile" in names or "segmented.compile" in names
+
+
+class TestErrorHandling:
+    """Anticipated failures: exit 1 with a one-line message, no traceback."""
+
+    def test_unknown_circuit_name(self, capsys):
+        assert main(["estimate", "--circuit", "nonesuch", "--no-cache"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error: unknown circuit")
+        assert "Traceback" not in captured.err
+
+    def test_unparseable_bench_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.bench"
+        bad.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+        assert main(["estimate", "--circuit", str(bad), "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "ghost" in err and "line 3" in err
+
+    def test_missing_bench_file(self, capsys, tmp_path):
+        assert main(
+            ["estimate", "--circuit", str(tmp_path / "no.bench"), "--no-cache"]
+        ) == 1
+        assert "no such .bench file" in capsys.readouterr().err
+
+    def test_unknown_backend(self, capsys):
+        assert main(
+            ["estimate", "--circuit", "c17", "--backend", "warp", "--no-cache"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: unknown backend")
+        assert "Traceback" not in err
+
+    def test_stats_unknown_circuit(self, capsys, disable_obs_after):
+        assert main(["stats", "--circuit", "nonesuch"]) == 1
+        assert "repro: error:" in capsys.readouterr().err
+
+
+def test_estimate_accepts_bench_path(capsys, tmp_path):
+    bench = tmp_path / "mini.bench"
+    bench.write_text("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+    assert main(["estimate", "--circuit", str(bench), "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "mini: 1 gates" in out
+
+
+def test_estimate_fallback_flag_reports_degradation(capsys, cache_dir):
+    assert main(
+        [
+            "estimate", "--circuit", "c17", "--no-cache",
+            "--backend", "junction-tree", "--fallback",
+        ]
+    ) == 0
+    # c17 compiles fine: no degradation lines, but the flag parses.
+    assert "fallback:" not in capsys.readouterr().out
+
+
+def test_fuzz_smoke_clean(capsys, tmp_path):
+    assert main(
+        [
+            "fuzz", "--seeds", "3", "--max-gates", "10", "--max-inputs", "4",
+            "--out", str(tmp_path / "failures"),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "3 ok, 0 failing" in out
+    assert not (tmp_path / "failures").exists() or not list(
+        (tmp_path / "failures").iterdir()
+    )
+
+
+def test_fuzz_unknown_backend(capsys):
+    assert main(["fuzz", "--seeds", "1", "--backends", "warp"]) == 1
+    assert "unknown backend" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""The cross-backend differential fuzz harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.bench import parse_bench_file
+from repro.core.backend import register_backend
+from repro.core.backend.base import Backend, CompiledModel
+from repro.core.backend.registry import _REGISTRY
+from repro.core.estimator import SwitchingEstimate, exact_switching_by_enumeration
+from repro.testing import (
+    input_model_from_json,
+    input_model_to_json,
+    make_case,
+    run_fuzz,
+)
+from repro.testing.differential import restrict_model_spec
+
+
+class TestCaseGeneration:
+    def test_deterministic(self):
+        c1, s1 = make_case(7)
+        c2, s2 = make_case(7)
+        assert c1.inputs == c2.inputs
+        assert [str(c1.driver(g)) for g in c1.gates] == [
+            str(c2.driver(g)) for g in c2.gates
+        ]
+        assert s1 == s2
+
+    def test_all_model_kinds_appear(self):
+        kinds = {make_case(seed)[1]["kind"] for seed in range(8)}
+        assert kinds == {"independent", "correlated", "trace", "temporal"}
+
+    def test_respects_bounds(self):
+        for seed in range(8):
+            circuit, _ = make_case(seed, max_gates=15, max_inputs=4)
+            assert circuit.num_inputs <= 4
+            assert circuit.num_gates <= 15
+
+
+class TestModelJsonRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))  # one seed per model kind
+    def test_round_trip_preserves_marginals(self, seed):
+        circuit, spec = make_case(seed, max_gates=10, max_inputs=4)
+        doc = json.loads(json.dumps(input_model_to_json(spec)))
+        model = input_model_from_json(doc)
+        again = input_model_from_json(json.loads(json.dumps(doc)))
+        for name in circuit.inputs:
+            np.testing.assert_allclose(
+                model.marginal_distribution(name),
+                again.marginal_distribution(name),
+            )
+
+    def test_restriction_keeps_surviving_inputs(self):
+        _, spec = make_case(1, max_gates=10, max_inputs=4)  # correlated seed
+        assert spec["kind"] == "correlated"
+        keep = spec["groups"][0][:2]
+        restricted = restrict_model_spec(spec, keep)
+        model = input_model_from_json(input_model_to_json(restricted))
+        for name in keep:
+            assert model.marginal_distribution(name).shape == (4,)
+
+
+class TestCleanRun:
+    def test_exact_backends_agree_with_oracle(self, tmp_path):
+        report = run_fuzz(seeds=6, max_gates=15, max_inputs=4, out_dir=tmp_path)
+        assert report.ok, report.summary()
+        assert len(report.cases) == 6
+        assert not list(tmp_path.iterdir())  # no reproducers on success
+
+    def test_summary_mentions_scale(self):
+        report = run_fuzz(seeds=2, max_gates=8, max_inputs=3)
+        assert "2 seed(s)" in report.summary()
+
+
+class _OffByEpsilonModel(CompiledModel):
+    """A deliberately wrong backend: perturbs one line's distribution."""
+
+    def __init__(self, circuit, inputs):
+        super().__init__("broken-for-test", circuit)
+        self._circuit = circuit
+        self._inputs = inputs
+
+    def query(self, inputs=None):
+        model = inputs if inputs is not None else self._inputs
+        dists = exact_switching_by_enumeration(self._circuit, model)
+        victim = sorted(self._circuit.gates)[0]
+        skewed = dict(dists)
+        wrong = skewed[victim].copy()
+        wrong[0] += 0.01
+        wrong /= wrong.sum()
+        skewed[victim] = wrong
+        return SwitchingEstimate(
+            distributions=skewed, compile_seconds=0.0, propagate_seconds=0.0
+        )
+
+
+class _BrokenBackend(Backend):
+    name = "broken-for-test"
+
+    def compile(self, circuit, inputs=None, **options):
+        return _OffByEpsilonModel(circuit, inputs)
+
+
+@pytest.fixture
+def broken_backend():
+    backend = _BrokenBackend()
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        _REGISTRY.pop(backend.name, None)
+
+
+class TestMismatchPath:
+    def test_broken_backend_is_flagged_and_reproduced(self, tmp_path, broken_backend):
+        report = run_fuzz(
+            seeds=1,
+            max_gates=10,
+            max_inputs=4,
+            backends=("junction-tree", broken_backend.name),
+            out_dir=tmp_path,
+        )
+        assert not report.ok
+        case = report.failures[0]
+        assert {m.backend for m in case.mismatches} == {broken_backend.name}
+        assert case.mismatches[0].max_abs_error > 1e-10
+
+        # Reproducer trio: .bench + .inputs.json + .report.json.
+        assert case.reproducer is not None and case.reproducer.exists()
+        inputs_doc = json.loads(
+            (tmp_path / "seed0.inputs.json").read_text()
+        )
+        input_model_from_json(inputs_doc)  # loads back
+        report_doc = json.loads((tmp_path / "seed0.report.json").read_text())
+        assert report_doc["mismatches"]
+
+        # The reproducer .bench re-parses and still fails differentially.
+        sub = parse_bench_file(case.reproducer)
+        assert sub.num_gates >= 1
+
+    def test_shrinking_does_not_grow_the_case(self, tmp_path, broken_backend):
+        report = run_fuzz(
+            seeds=1,
+            max_gates=20,
+            max_inputs=4,
+            backends=(broken_backend.name,),
+            out_dir=tmp_path,
+        )
+        case = report.failures[0]
+        original, _ = make_case(0, max_gates=20, max_inputs=4)
+        assert case.circuit.num_gates <= original.num_gates
+
+    def test_crashing_backend_is_a_finding(self, tmp_path):
+        class _Crash(Backend):
+            name = "crash-for-test"
+
+            def compile(self, circuit, inputs=None, **options):
+                raise RuntimeError("kaboom")
+
+        backend = _Crash()
+        register_backend(backend)
+        try:
+            report = run_fuzz(
+                seeds=1, max_gates=8, max_inputs=3,
+                backends=(backend.name,), out_dir=tmp_path,
+            )
+        finally:
+            _REGISTRY.pop(backend.name, None)
+        assert not report.ok
+        mismatch = report.failures[0].mismatches[0]
+        assert mismatch.error is not None and "kaboom" in mismatch.error
