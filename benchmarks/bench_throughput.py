@@ -1,0 +1,223 @@
+"""Multi-scenario sweep throughput: batched vs. looped propagation.
+
+Emits ``BENCH_throughput.json`` (schema version 1).  PR 5's tentpole
+claim is that K input-statistics queries against one compiled model
+should cost one batched einsum pass, not K sequential propagations;
+this runner measures exactly that ratio:
+
+- ``looped_scenarios_per_sec``  -- sequential ``update_inputs()`` +
+  ``estimate()`` per scenario on a persistent compiled estimator (the
+  pre-batching fast path, dirty-clique tracking and all),
+- ``batched_scenarios_per_sec`` -- one ``estimate_many()`` call
+  propagating all K scenarios through the engine's leading batch axis,
+- ``speedup``                   -- batched rate over looped rate,
+- ``bitwise_equal``             -- whether the batched sweep's
+  distributions match a looped full-propagation oracle bit for bit
+  (checked outside the timed region on fresh compiles; a full pass is
+  a pure function of the potentials, so equality is exact, not
+  approximate).
+
+Each timing repeat uses a *different* deterministic scenario set so
+the skip-unchanged-potential fast path never turns a repeat into a
+no-op; the minimum over repeats is reported (least noise).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        [--circuits c17,alu,comp,voter,pcler8,c432s] \
+        [--batch-sizes 1,8,64,256] [--repeats 3] [--quick] \
+        [--output BENCH_throughput.json]
+
+``--quick`` shrinks the run to the CI smoke configuration (c17 only,
+K in {1, 64}, 2 repeats).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuits import suite
+from repro.core.backend import CliqueBudgetExceeded, compile_model
+from repro.core.inputs import IndependentInputs
+
+DEFAULT_CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8", "c432s"]
+DEFAULT_BATCH_SIZES = [1, 8, 64, 256]
+
+#: Bump when the emitted JSON shape changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Golden-ratio increment: scenario probabilities fill (0.05, 0.95)
+#: quasi-uniformly, and the per-repeat salt shifts the whole set so no
+#: two repeats install identical potentials.
+_PHI = 0.6180339887498949
+
+
+def _scenarios(k: int, salt: int) -> List[IndependentInputs]:
+    return [
+        IndependentInputs(0.05 + 0.9 * ((i * _PHI + salt * 0.2718 + 0.041) % 1.0))
+        for i in range(k)
+    ]
+
+
+def _compile(circuit, parallelism: int):
+    """Junction tree first, segmented past the clique budget (CLI rule)."""
+    try:
+        model = compile_model(
+            circuit, backend="junction-tree", max_clique_states=4 ** 10
+        )
+        return model, "single-bn"
+    except CliqueBudgetExceeded:
+        model = compile_model(
+            circuit, backend="segmented", parallelism=parallelism
+        )
+        return model, "segmented"
+
+
+def _loop_sweep(estimator, models) -> None:
+    for model in models:
+        estimator.update_inputs(model)
+        estimator.estimate()
+
+
+def _bitwise_check(circuit, parallelism: int, k: int) -> Dict[str, object]:
+    """Fresh-compile oracle: batched sweep vs. looped full propagations.
+
+    Both sides force complete propagations (``reset_propagation`` marks
+    every clique dirty), making each result a pure function of the
+    installed potentials -- so the comparison is exact equality, and
+    any difference is a real kernel divergence, not float noise.
+    """
+    models = _scenarios(k, salt=0)
+    loop_model, _ = _compile(circuit, parallelism)
+    oracle = []
+    for model in models:
+        loop_model.estimator.reset_propagation()
+        loop_model.estimator.update_inputs(model)
+        oracle.append(loop_model.estimator.estimate())
+    batch_model, _ = _compile(circuit, parallelism)
+    batched = batch_model.query_many(models)
+    worst = 0.0
+    equal = True
+    for expect, got in zip(oracle, batched):
+        for line, dist in expect.distributions.items():
+            other = got.distributions[line]
+            if not np.array_equal(dist, other):
+                equal = False
+                worst = max(worst, float(np.abs(dist - other).max()))
+    return {"bitwise_equal": equal, "max_abs_diff": worst}
+
+
+def bench_circuit(
+    name: str, batch_sizes: List[int], repeats: int, parallelism: int
+) -> List[Dict[str, object]]:
+    circuit = suite.load_circuit(name)
+    model, method = _compile(circuit, parallelism)
+    estimator = model.estimator
+    rows: List[Dict[str, object]] = []
+    for k in batch_sizes:
+        # Warm both paths once (outside timing) so one-time costs --
+        # the batch engine allocation in particular -- are excluded.
+        _loop_sweep(estimator, _scenarios(k, salt=repeats + 1))
+        model.query_many(_scenarios(k, salt=repeats + 2))
+
+        looped = min(
+            _timed(_loop_sweep, estimator, _scenarios(k, salt=r))
+            for r in range(repeats)
+        )
+        batched = min(
+            _timed(model.query_many, _scenarios(k, salt=r))
+            for r in range(repeats)
+        )
+        row: Dict[str, object] = {
+            "circuit": name,
+            "gates": circuit.num_gates,
+            "method": method,
+            "batch_size": k,
+            "looped_seconds": looped,
+            "batched_seconds": batched,
+            "looped_scenarios_per_sec": k / looped,
+            "batched_scenarios_per_sec": k / batched,
+            "speedup": looped / batched,
+        }
+        row.update(_bitwise_check(circuit, parallelism, k))
+        rows.append(row)
+        print(
+            f"{name:>10s}  K={k:<4d} "
+            f"looped {row['looped_scenarios_per_sec']:9.1f}/s  "
+            f"batched {row['batched_scenarios_per_sec']:9.1f}/s  "
+            f"speedup {row['speedup']:6.2f}x  "
+            f"bitwise={'yes' if row['bitwise_equal'] else 'NO'}"
+        )
+    return rows
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--circuits", default=",".join(DEFAULT_CIRCUITS),
+        help="comma-separated circuit names from the Table 1 suite",
+    )
+    parser.add_argument(
+        "--batch-sizes", default=",".join(map(str, DEFAULT_BATCH_SIZES)),
+        help="comma-separated scenario counts K",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--parallelism", type=int, default=0,
+        help="worker threads for segmented circuits (0 = serial)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration: c17 only, K in {1, 64}, 2 repeats",
+    )
+    parser.add_argument("--output", default="BENCH_throughput.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        circuits = ["c17"]
+        batch_sizes = [1, 64]
+        repeats = 2
+    else:
+        circuits = [c.strip() for c in args.circuits.split(",") if c.strip()]
+        batch_sizes = [
+            int(k) for k in args.batch_sizes.split(",") if k.strip()
+        ]
+        repeats = args.repeats
+    if repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if any(k < 1 for k in batch_sizes):
+        parser.error("--batch-sizes entries must be >= 1")
+
+    rows: List[Dict[str, object]] = []
+    for name in circuits:
+        rows.extend(bench_circuit(name, batch_sizes, repeats, args.parallelism))
+
+    report = {
+        "benchmark": "throughput",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ from repro.core.backend import (
     available_backends,
     compile_model,
     estimate,
+    estimate_many,
     get_backend,
     register_backend,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "build_lidag",
     "compile_model",
     "estimate",
+    "estimate_many",
     "exact_switching_by_enumeration",
     "get_backend",
     "register_backend",

@@ -70,6 +70,27 @@ class TabularCPD:
         return cls(variable, len(list(probabilities)), np.asarray(probabilities))
 
     @classmethod
+    def _trusted(
+        cls,
+        variable: str,
+        values: np.ndarray,
+        parents: Sequence[str] = (),
+    ) -> "TabularCPD":
+        """Construction fast path for hot sweep loops.
+
+        ``values`` must already be a float64 array of shape
+        ``parent_cards + (cardinality,)`` with normalized rows -- the
+        caller guarantees everything ``__init__`` would check.  Batched
+        scenario sweeps build tens of thousands of CPDs per call; the
+        row-sum ``allclose`` alone dominates their runtime.
+        """
+        cpd = object.__new__(cls)
+        cpd.variable = variable
+        cpd.parents = tuple(parents)
+        cpd.factor = Factor._unsafe(cpd.parents + (variable,), values)
+        return cpd
+
+    @classmethod
     def deterministic(
         cls,
         variable: str,

@@ -246,17 +246,21 @@ class Factor:
         return bool((values == 1.0).all())
 
 
-def factor_product(factors: Iterable[Factor]) -> Factor:
-    """Multiply a collection of factors (unit factor if empty).
+def plan_product(factors: Iterable[Factor], size_key=None) -> list:
+    """Select and order the factors :func:`factor_product` would fold.
 
-    Smallest-scope factors are folded first so intermediate products
-    stay as small as possible, and identity (all-ones) factors are
-    skipped unless they are needed to establish the result's scope.
-    The result's *variable set* matches the naive left-to-right fold;
-    the axis order may differ (use :meth:`Factor.permute` if a specific
-    order is required).
+    Smallest factors come first so intermediate products stay as small
+    as possible, and identity (all-ones) factors are dropped unless they
+    are needed to establish the result's scope.  ``size_key`` overrides
+    the size used for ordering (default: :attr:`Factor.size`); batched
+    callers pass a per-scenario size so the fold order matches what an
+    unbatched fold over any single scenario would use.
+
+    Returns the ordered list of factors to fold (may be empty).
     """
-    pending = sorted(factors, key=lambda f: f.size)
+    if size_key is None:
+        size_key = lambda f: f.size  # noqa: E731 - trivial default key
+    pending = sorted(factors, key=size_key)
     keep: list = []
     identities: list = []
     covered: set = set()
@@ -271,6 +275,21 @@ def factor_product(factors: Iterable[Factor]) -> Factor:
         if not factor._varset <= covered:
             keep.append(factor)
             covered |= factor._varset
+    keep.sort(key=size_key)
+    return keep
+
+
+def factor_product(factors: Iterable[Factor]) -> Factor:
+    """Multiply a collection of factors (unit factor if empty).
+
+    Smallest-scope factors are folded first so intermediate products
+    stay as small as possible, and identity (all-ones) factors are
+    skipped unless they are needed to establish the result's scope.
+    The result's *variable set* matches the naive left-to-right fold;
+    the axis order may differ (use :meth:`Factor.permute` if a specific
+    order is required).
+    """
+    keep = plan_product(factors)
     if not keep:
         # All inputs were identities over already-covered scopes (or the
         # iterable was empty); the widest identity, if any, carries the
@@ -278,7 +297,6 @@ def factor_product(factors: Iterable[Factor]) -> Factor:
         # unless some identity factor exists -- but every identity with
         # new scope was kept above, so scalar unit is correct.
         return Factor.unit()
-    keep.sort(key=lambda f: f.size)
     result = keep[0]
     for factor in keep[1:]:
         result = result.product(factor)

@@ -26,7 +26,7 @@ import networkx as nx
 import numpy as np
 
 from repro.bayesian.cpd import TabularCPD
-from repro.bayesian.factor import Factor, factor_product
+from repro.bayesian.factor import Factor, factor_product, plan_product
 from repro.bayesian.moral import moral_graph
 from repro.bayesian.network import BayesianNetwork
 from repro.bayesian.propagation import (
@@ -44,6 +44,10 @@ from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 
 __all__ = ["CliqueBudgetExceeded", "JunctionTree", "JunctionTreeError"]
+
+#: synthetic variable name for the leading batch axis of stacked
+#: per-scenario factors; NUL guarantees no collision with circuit lines.
+_BATCH_AXIS = "\x00batch"
 
 
 class JunctionTreeError(RuntimeError):
@@ -108,6 +112,13 @@ class JunctionTree:
         #: by tests and benchmarks as the slow oracle.
         self._use_engine = engine
         self._engine: Optional[PropagationEngine] = None
+        #: shared immutable message schedule (built on first engine use;
+        #: serves both the single-query and the batched engine)
+        self._schedule: Optional[PropagationSchedule] = None
+        #: batched engine for multi-scenario sweeps (built lazily by
+        #: update_cpds_batch; dropped whenever the shared potentials it
+        #: snapshot change, and excluded from pickles)
+        self._batch_engine: Optional[PropagationEngine] = None
         self._init_potentials()
 
     # ------------------------------------------------------------------
@@ -215,6 +226,50 @@ class JunctionTree:
         ]
         return factor_product([base] + members).permute(order)
 
+    def _clique_cpd_product_batch(
+        self, idx: int, overrides: Mapping[str, Sequence[TabularCPD]], k: int
+    ) -> np.ndarray:
+        """Batched clique-``idx`` CPD product: a ``(K, *clique_shape)``
+        stack whose slice ``k`` is bitwise-identical to what
+        :meth:`_clique_cpd_product` would compute with scenario ``k``'s
+        CPDs swapped in.
+
+        Bitwise equality holds because the fold order is planned with a
+        *per-scenario* size key (a stacked factor counts as its
+        unbatched size), so the batched fold multiplies the same factors
+        in the same order as any single scenario's fold, and every
+        multiply is elementwise over broadcast views.
+        """
+        order = tuple(sorted(self.cliques[idx]))
+        shape = tuple(self._cardinalities[v] for v in order)
+        base = Factor.uniform(order, shape)
+        factors: List[Factor] = [base]
+        for node in self._cpd_members[idx]:
+            cpds = overrides.get(node)
+            if cpds is None:
+                factors.append(self._bn.cpd(node).to_factor())
+            else:
+                first = cpds[0].to_factor()
+                stacked = np.stack(
+                    [c.to_factor().permute(first.variables).values for c in cpds]
+                )
+                factors.append(
+                    Factor._unsafe((_BATCH_AXIS,) + first.variables, stacked)
+                )
+
+        def per_scenario_size(factor: Factor) -> int:
+            return factor.size // k if _BATCH_AXIS in factor else factor.size
+
+        keep = plan_product(factors, size_key=per_scenario_size)
+        result = keep[0]
+        for factor in keep[1:]:
+            result = result.product(factor)
+        if _BATCH_AXIS in result:
+            return result.permute((_BATCH_AXIS,) + order).values
+        # Every scenario's table is identical (all overrides were
+        # identities); broadcast the shared table over the batch axis.
+        return np.broadcast_to(result.permute(order).values, (k,) + shape)
+
     def _clique_potential(self, idx: int) -> Factor:
         """Initial potential of clique ``idx``: its CPD product times
         the evidence indicators of variables homed there."""
@@ -244,9 +299,13 @@ class JunctionTree:
                 sorted(sep), [self._cardinalities[x] for x in sorted(sep)]
             )
         self._calibrated = False
+        # The batched engine snapshots the shared CPD products; any
+        # reset invalidates that snapshot.
+        self._batch_engine = None
         if self._engine is not None:
             # Full reset requested (new evidence set, bench reruns, ...):
             # push every potential and mark everything dirty.
+            self._engine.mark_all_dirty()
             for idx in range(len(self.cliques)):
                 self._engine.set_potential(idx, self._potentials[idx])
 
@@ -262,6 +321,7 @@ class JunctionTree:
             self._potentials[idx] = potential
             self._engine.set_potential(idx, potential)
         self._calibrated = False
+        self._batch_engine = None
 
     # ------------------------------------------------------------------
     # Evidence & CPD updates
@@ -321,6 +381,144 @@ class JunctionTree:
             self._init_potentials()
 
     # ------------------------------------------------------------------
+    # Batched multi-scenario propagation
+    # ------------------------------------------------------------------
+
+    def update_cpds_batch(self, cpd_sets: Sequence[Iterable[TabularCPD]]) -> int:
+        """Install K scenarios' CPDs for one batched propagation pass.
+
+        ``cpd_sets[k]`` plays the role of :meth:`update_cpds`'s argument
+        for scenario ``k``; every scenario must update the same
+        variables (with unchanged parents and cardinality).  Unlike
+        :meth:`update_cpds` this mutates neither the underlying network
+        nor the single-query engine: scenarios live only in a lazily
+        built batched engine, whose dirty tracking is shared across the
+        batch (only the updated cliques' potentials differ per
+        scenario).  Returns K.  Query results with
+        :meth:`marginals_batch` / :meth:`joint_marginal_batch`.
+        """
+        sets = [list(s) for s in cpd_sets]
+        if not sets:
+            raise ValueError("need at least one CPD set")
+        if not self._use_engine:
+            raise JunctionTreeError(
+                "batched propagation requires the compiled engine"
+            )
+        if self._evidence:
+            raise JunctionTreeError(
+                "batched propagation does not support evidence"
+            )
+        k = len(sets)
+        variables = [cpd.variable for cpd in sets[0]]
+        by_var: Dict[str, List[TabularCPD]] = {v: [] for v in variables}
+        # Deep-validate scenario 0 against the network, then hold the
+        # other K-1 scenarios to scenario 0's structure (cheap tuple and
+        # shape compares instead of K network lookups per variable).
+        for cpd in sets[0]:
+            if cpd.variable not in self._cpd_assignment:
+                raise KeyError(f"unknown node {cpd.variable!r}")
+            old = self._bn.cpd(cpd.variable)
+            if tuple(cpd.parents) != tuple(old.parents):
+                raise ValueError(
+                    f"new CPD for {cpd.variable!r} changes parents "
+                    f"{old.parents} -> {cpd.parents}; recompile instead"
+                )
+            if cpd.cardinality != old.cardinality:
+                raise ValueError(
+                    f"new CPD for {cpd.variable!r} changes cardinality"
+                )
+            by_var[cpd.variable].append(cpd)
+        for cpds in sets[1:]:
+            if [cpd.variable for cpd in cpds] != variables:
+                raise ValueError(
+                    "every scenario must update the same variables in the "
+                    "same order"
+                )
+            for cpd, ref in zip(cpds, sets[0]):
+                if cpd.parents != ref.parents:
+                    raise ValueError(
+                        f"new CPD for {cpd.variable!r} changes parents "
+                        f"{ref.parents} -> {cpd.parents}; recompile instead"
+                    )
+                if cpd.factor.values.shape != ref.factor.values.shape:
+                    raise ValueError(
+                        f"new CPD for {cpd.variable!r} changes cardinality"
+                    )
+                by_var[cpd.variable].append(cpd)
+
+        schedule = self._ensure_schedule()
+        if self._batch_engine is None or self._batch_engine.batch_size != k:
+            engine = PropagationEngine(schedule, batch_size=k)
+            for idx in range(len(self.cliques)):
+                # Gate-clique tables are identical across scenarios and
+                # broadcast over the batch axis.
+                engine.set_potential(idx, self._cpd_products[idx])
+            self._batch_engine = engine
+        affected = {self._cpd_assignment[v] for v in variables}
+        for idx in sorted(affected):
+            overrides = {
+                node: by_var[node]
+                for node in self._cpd_members[idx]
+                if node in by_var
+            }
+            stacked = self._clique_cpd_product_batch(idx, overrides, k)
+            self._batch_engine.set_potential_batch(idx, stacked)
+        return k
+
+    def marginals_batch(
+        self, variables: Sequence[str], skip_zero: bool = False
+    ) -> Dict[str, np.ndarray]:
+        """Posterior marginals of the installed scenario batch.
+
+        Returns ``{var: (K, card) array}``; row ``k`` is scenario
+        ``k``'s marginal, bitwise-identical to what K independent
+        single-query propagations would produce (see
+        :mod:`repro.bayesian.propagation`).  Requires a prior
+        :meth:`update_cpds_batch`.  ``skip_zero=True`` NaN-fills rows of
+        zero-mass scenarios instead of raising, isolating them from
+        their batch-mates.
+        """
+        engine = self._require_batch_engine()
+        engine.propagate()
+        return engine.marginals(variables, skip_zero=skip_zero)
+
+    def joint_marginal_batch(self, variables: Sequence[str]) -> np.ndarray:
+        """Batched joint posterior of variables sharing a clique: a
+        ``(K, card_1, ..., card_m)`` array in the order of
+        ``variables``.  See :meth:`joint_marginal`."""
+        engine = self._require_batch_engine()
+        engine.propagate()
+        wanted = set(variables)
+        for idx, clique in enumerate(self.cliques):
+            if wanted <= clique:
+                return engine.joint_marginal(idx, list(variables))
+        raise JunctionTreeError(f"no clique jointly contains {sorted(wanted)}")
+
+    def _require_batch_engine(self) -> PropagationEngine:
+        if self._batch_engine is None:
+            raise JunctionTreeError(
+                "no scenario batch installed; call update_cpds_batch first"
+            )
+        return self._batch_engine
+
+    def _ensure_schedule(self) -> PropagationSchedule:
+        """Build (once) the immutable message schedule shared by the
+        single-query and batched engines."""
+        if self._schedule is None:
+            with get_tracer().span("compile.schedule", cliques=len(self.cliques)):
+                self._schedule = PropagationSchedule(
+                    self.cliques, self.tree.edges, self._cardinalities
+                )
+        return self._schedule
+
+    def __getstate__(self):
+        # The batched engine is a per-sweep cache keyed by batch size;
+        # rebuilding it is cheap and keeps artifacts K-independent.
+        state = dict(self.__dict__)
+        state["_batch_engine"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # Calibration (two-phase message passing)
     # ------------------------------------------------------------------
 
@@ -355,15 +553,10 @@ class JunctionTree:
     def _calibrate_engine(self) -> None:
         """Propagate via the compiled schedule (built on first use)."""
         if self._engine is None:
-            with get_tracer().span(
-                "compile.schedule", cliques=len(self.cliques)
-            ):
-                schedule = PropagationSchedule(
-                    self.cliques, self.tree.edges, self._cardinalities
-                )
-                self._engine = PropagationEngine(schedule)
-                for idx in range(len(self.cliques)):
-                    self._engine.set_potential(idx, self._potentials[idx])
+            schedule = self._ensure_schedule()
+            self._engine = PropagationEngine(schedule)
+            for idx in range(len(self.cliques)):
+                self._engine.set_potential(idx, self._potentials[idx])
             registry = get_metrics()
             if registry.enabled:
                 registry.gauge("engine.factor_bytes.peak").set_max(
@@ -499,15 +692,31 @@ class JunctionTree:
 
     def propagation_counters(self) -> PropagationCounters:
         """Cumulative engine work counters (zeros before first calibration
-        or on the ``engine=False`` reference path)."""
-        if self._engine is not None:
-            return self._engine.counters
-        return PropagationCounters()
+        or on the ``engine=False`` reference path).
+
+        With only one engine alive (the common case) this returns the
+        live counters object; with both a single-query and a batched
+        engine it returns a combined snapshot.
+        """
+        if self._batch_engine is None:
+            if self._engine is not None:
+                return self._engine.counters
+            return PropagationCounters()
+        if self._engine is None:
+            return self._batch_engine.counters
+        combined = PropagationCounters()
+        combined.add(self._engine.counters)
+        combined.add(self._batch_engine.counters)
+        return combined
 
     def engine_factor_bytes(self) -> int:
-        """Bytes held by the engine's preallocated belief/message/scratch
-        buffers (0 before first calibration or with ``engine=False``)."""
-        return self._engine.factor_bytes if self._engine is not None else 0
+        """Bytes held by the engines' preallocated belief/message/scratch
+        buffers (0 before first calibration or with ``engine=False``).
+        A batched engine contributes ``K x`` the single-query footprint."""
+        total = self._engine.factor_bytes if self._engine is not None else 0
+        if self._batch_engine is not None:
+            total += self._batch_engine.factor_bytes
+        return total
 
     def max_clique_size(self) -> int:
         """State-space size of the largest clique table."""

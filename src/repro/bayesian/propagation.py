@@ -11,6 +11,9 @@ half of that bargain real:
   clique's variable order, and precomputes, per directed message, the
   einsum axis lists and broadcast shapes that the naive
   :meth:`Factor._expand_to` path re-derives on every single message.
+  The axis metadata comes in two flavors -- plain and with a leading
+  batch label -- so one schedule serves both single-query and batched
+  engines.
 
 - :class:`PropagationEngine` owns preallocated clique belief buffers
   and separator message buffers and runs the Hugin update with in-place
@@ -19,12 +22,24 @@ half of that bargain real:
   0/0 = 0 division mask is applied with ``np.divide(..., where=)`` on
   separator-sized arrays only (never on clique tables).
 
+- **Batched propagation**: an engine built with ``batch_size=K`` grows
+  every belief/message buffer by a leading ``K`` axis and propagates K
+  independent input-statistics scenarios in one vectorized
+  collect/distribute pass.  Clique potentials may be shared across the
+  batch (gate CPDs -- a plain ``(*clique_shape)`` array broadcast over
+  the batch axis) or per-scenario (:meth:`set_potential_batch` with a
+  ``(K, *clique_shape)`` stack).  Dirty tracking stays shared across
+  the batch: only input-clique potentials differ per scenario, so a
+  sweep repropagates exactly the input-reachable subtree, batched.
+
 - **Dirty-clique repropagation**: callers mark cliques whose potentials
   changed (:meth:`PropagationEngine.set_potential`); the next
   :meth:`~PropagationEngine.propagate` recomputes only the upward
   messages whose source subtree contains a dirty clique and the
   downward messages their changes invalidate.  Subtrees the update
-  cannot reach are skipped entirely.
+  cannot reach are skipped entirely.  Setting a potential whose values
+  are array-equal to the current one is a no-op (the clique stays
+  clean).
 
 The message algebra is the classic Hugin scheme written with cached
 directed messages: during collect, each clique's *partial* belief
@@ -36,6 +51,14 @@ every belief equals the exact joint marginal of its clique's scope
 times the probability of evidence -- identical, up to floating-point
 association order, to the Factor-based reference path in
 :mod:`repro.bayesian.junction`.
+
+Every batched kernel is elementwise or a reduction over non-batch axes,
+so batch element ``k`` of a batched propagation goes through exactly
+the same arithmetic, in the same order, as a single-query propagation
+over scenario ``k``'s potentials -- the results agree *bitwise*, not
+just to tolerance, whenever the two runs take the same dirty paths
+(e.g. both are first propagations, or every sweep updates the same
+cliques).
 """
 
 from __future__ import annotations
@@ -51,6 +74,84 @@ from repro.obs.metrics import get_metrics
 __all__ = ["PropagationCounters", "PropagationSchedule", "PropagationEngine"]
 
 
+def _reduction_plan(shape: Tuple[int, ...], keep_axes: Sequence[int]):
+    """Compile one sum-reduction ``shape -> keep_axes`` into a kernel plan.
+
+    Adjacent axes with the same fate (kept / summed) are merged into
+    single axes -- a pure reshape view on the C-contiguous engine
+    buffers -- and the merged pattern picks the cheapest kernel:
+
+    - ``("copy",)``                       nothing summed;
+    - ``("dot", d, ones)``                one trailing summed run: a
+      BLAS row-dot ``view(-1, d) @ ones``;
+    - ``("vecmat", d, r, ones)``          one leading summed run:
+      ``ones @ view(-1, d, r)``;
+    - ``("einsum", mshape, in, out, oshape)``  the general interleaved
+      case, einsum over the merged (coarser) axes.
+
+    Every kernel reduces batch slice ``k`` of a ``(K, *shape)`` buffer
+    with exactly the same arithmetic as an unbatched ``(*shape)``
+    reduction (the leading batch axis is always kept, so it merges into
+    -- or stacks ahead of -- the leading kept run), which is what keeps
+    batched and single-query propagation bitwise-identical.  Plans are
+    computed once per schedule and shared by both engine modes.
+    """
+    keep = set(keep_axes)
+    runs: List[List[int]] = []  # [is_kept, merged size]
+    for axis, size in enumerate(shape):
+        flag = 1 if axis in keep else 0
+        if runs and runs[-1][0] == flag:
+            runs[-1][1] *= size
+        else:
+            runs.append([flag, size])
+    drops = [i for i, (flag, _) in enumerate(runs) if not flag]
+    if not drops:
+        return ("copy",)
+    if len(drops) == 1 and drops[0] == len(runs) - 1:
+        d = runs[-1][1]
+        return ("dot", d, np.ones(d))
+    if len(drops) == 1 and drops[0] == 0:
+        d = runs[0][1]
+        r = 1
+        for _, size in runs[1:]:
+            r *= size
+        return ("vecmat", d, r, np.ones(d))
+    mshape = tuple(size for _, size in runs)
+    batch_label = len(mshape)
+    in_axes = [batch_label] + list(range(batch_label))
+    out_axes = [batch_label] + [i for i, (flag, _) in enumerate(runs) if flag]
+    out_shape = tuple(size for flag, size in runs if flag)
+    return ("einsum", mshape, in_axes, out_axes, out_shape)
+
+
+def _reduce_sum(src: np.ndarray, plan, out: np.ndarray) -> None:
+    """Run a :func:`_reduction_plan` kernel: sum ``src`` into ``out``.
+
+    Batch-agnostic: ``src``/``out`` may carry a leading batch axis or
+    not; the ``-1`` reshape folds it into the row dimension (or a
+    length-1 stack), so slice ``k`` goes through the identical BLAS or
+    einsum call a single-query engine issues.  Both arrays must be
+    C-contiguous (all engine buffers are).
+    """
+    kind = plan[0]
+    if kind == "dot":
+        np.dot(src.reshape(-1, plan[1]), plan[2], out=out.reshape(-1))
+    elif kind == "vecmat":
+        np.matmul(
+            plan[3], src.reshape(-1, plan[1], plan[2]), out=out.reshape(-1, plan[2])
+        )
+    elif kind == "einsum":
+        _, mshape, in_axes, out_axes, out_shape = plan
+        np.einsum(
+            src.reshape((-1,) + mshape),
+            in_axes,
+            out_axes,
+            out=out.reshape((-1,) + out_shape),
+        )
+    else:  # "copy": separator spans the whole clique
+        np.copyto(out, src)
+
+
 class PropagationCounters:
     """Always-on work counters of one :class:`PropagationEngine`.
 
@@ -58,7 +159,11 @@ class PropagationCounters:
     count -- so the engine can report its work (and benchmarks can emit
     a breakdown) without the global metrics registry being enabled.
     ``flops`` is the standard table-touch estimate: one unit per entry
-    of each clique table marginalized or multiplied.
+    of each clique table marginalized or multiplied, scaled by the
+    batch size for batched engines.  ``scenarios_propagated`` counts
+    one per propagation in single-query mode and ``K`` per batched
+    propagation; ``potentials_unchanged`` counts ``set_potential``
+    calls skipped because the new values equalled the installed ones.
     """
 
     __slots__ = (
@@ -69,6 +174,8 @@ class PropagationCounters:
         "cliques_skipped",
         "zero_resurrections",
         "flops",
+        "scenarios_propagated",
+        "potentials_unchanged",
     )
 
     _FIELDS = __slots__
@@ -97,16 +204,22 @@ class PropagationCounters:
 
 
 class _Message:
-    """Precompiled metadata and buffers for one directed message u -> v."""
+    """Precompiled metadata for one directed message u -> v.
+
+    Holds no buffers: message storage lives on the engine so one
+    immutable schedule can be shared by a single-query engine and any
+    number of batched engines over the same tree.
+    """
 
     __slots__ = (
         "source",
         "target",
         "sep_vars",
+        "sep_shape",
         "source_axes",
         "keep_axes",
+        "plan",
         "expand_shape",
-        "values",
     )
 
     def __init__(
@@ -116,23 +229,27 @@ class _Message:
         sep_vars: Tuple[str, ...],
         source_order: Tuple[str, ...],
         target_order: Tuple[str, ...],
+        source_shape: Tuple[int, ...],
         sep_shape: Tuple[int, ...],
     ):
         self.source = source
         self.target = target
         self.sep_vars = sep_vars
+        self.sep_shape = sep_shape
         #: full axis list of the source clique (einsum integer form)
         self.source_axes = list(range(len(source_order)))
         #: axes of the source clique kept by the marginalization; both
         #: clique and separator orders are canonical (sorted), so the
-        #: kept axes are increasing and the einsum output needs no
+        #: kept axes are increasing and the reduction output needs no
         #: transpose.
         self.keep_axes = [source_order.index(v) for v in sep_vars]
+        #: compiled reduction kernel (merged axes, BLAS where the
+        #: pattern allows); shared by single-query and batched engines.
+        self.plan = _reduction_plan(source_shape, self.keep_axes)
         #: reshape that broadcasts a separator table against the target
         #: clique without any transpose (again: canonical orders).
         sep_cards = dict(zip(sep_vars, sep_shape))
         self.expand_shape = tuple(sep_cards.get(v, 1) for v in target_order)
-        self.values = np.empty(sep_shape)
 
 
 class PropagationSchedule:
@@ -148,7 +265,8 @@ class PropagationSchedule:
         State counts per variable.
 
     The schedule is immutable once built and is shared by every
-    :class:`PropagationEngine` propagation over the same tree.
+    :class:`PropagationEngine` propagation over the same tree,
+    single-query and batched alike.
     """
 
     def __init__(
@@ -216,6 +334,7 @@ class PropagationSchedule:
                         sep_vars,
                         self.orders[src],
                         self.orders[dst],
+                        self.shapes[src],
                         sep_shape,
                     )
 
@@ -235,17 +354,48 @@ class PropagationEngine:
     its clique dirty; :meth:`propagate` then recomputes only what the
     change can reach.  With no dirty cliques, :meth:`propagate` is a
     no-op.
+
+    Parameters
+    ----------
+    schedule:
+        The shared, immutable :class:`PropagationSchedule`.
+    batch_size:
+        ``None`` (default) for the classic single-query engine.  An
+        integer ``K >= 1`` grows every belief and message buffer by a
+        leading batch axis of length ``K`` and propagates K scenarios
+        per :meth:`propagate` call.  In batched mode potentials may be
+        shared across the batch (:meth:`set_potential`, broadcast) or
+        per-scenario (:meth:`set_potential_batch`), and
+        :meth:`marginals` returns ``(K, card)`` arrays.
     """
 
-    def __init__(self, schedule: PropagationSchedule):
+    def __init__(self, schedule: PropagationSchedule, batch_size: Optional[int] = None):
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.schedule = schedule
+        self.batch_size = batch_size
+        lead: Tuple[int, ...] = () if batch_size is None else (int(batch_size),)
         n = schedule.n_cliques
         self._psi: List[Optional[np.ndarray]] = [None] * n
-        self._beta: List[np.ndarray] = [np.empty(s) for s in schedule.shapes]
-        #: scratch separator buffers, one per directed edge
-        self._scratch: Dict[Tuple[int, int], np.ndarray] = {
-            key: np.empty_like(msg.values) for key, msg in schedule.messages.items()
+        self._beta: List[np.ndarray] = [np.empty(lead + s) for s in schedule.shapes]
+        #: message buffers and scratch separator buffers, per directed edge
+        self._msg: Dict[Tuple[int, int], np.ndarray] = {
+            key: np.empty(lead + msg.sep_shape)
+            for key, msg in schedule.messages.items()
         }
+        self._scratch: Dict[Tuple[int, int], np.ndarray] = {
+            key: np.empty(lead + msg.sep_shape)
+            for key, msg in schedule.messages.items()
+        }
+        #: per-edge reduction kernels (shared, batch-agnostic) and
+        #: broadcast shapes for this mode
+        self._plans = {k: m.plan for k, m in schedule.messages.items()}
+        self._expand = {
+            k: lead + m.expand_shape for k, m in schedule.messages.items()
+        }
+        #: lazily compiled reduction plans for marginal sweeps, keyed by
+        #: (clique index, kept axes)
+        self._marginal_plans: Dict[Tuple[int, Tuple[int, ...]], tuple] = {}
         self._dirty: Set[int] = set(range(n))
         self._ever_propagated = False
         #: always-on work counters (cheap int adds; see PropagationCounters)
@@ -255,15 +405,20 @@ class PropagationEngine:
         #: bytes held by the preallocated belief/message/scratch buffers
         self.factor_bytes = (
             sum(beta.nbytes for beta in self._beta)
-            + sum(msg.values.nbytes for msg in schedule.messages.values())
+            + sum(buf.nbytes for buf in self._msg.values())
             + sum(buf.nbytes for buf in self._scratch.values())
         )
         #: Factor views over the belief buffers (stable identity; the
-        #: arrays mutate in place across propagations)
-        self._belief_factors: List[Factor] = [
-            Factor._unsafe(order, beta)
-            for order, beta in zip(schedule.orders, self._beta)
-        ]
+        #: arrays mutate in place across propagations).  Single-query
+        #: mode only: a batched belief is not a factor over the clique.
+        self._belief_factors: List[Factor] = (
+            [
+                Factor._unsafe(order, beta)
+                for order, beta in zip(schedule.orders, self._beta)
+            ]
+            if batch_size is None
+            else []
+        )
 
     # ------------------------------------------------------------------
     # Potential updates
@@ -274,7 +429,14 @@ class PropagationEngine:
 
         ``potential`` must span exactly the clique's scope; any axis
         order is accepted and canonicalized here (a transpose view, no
-        copy).
+        copy).  In batched mode the table is shared by every batch
+        element (it broadcasts over the batch axis) -- use
+        :meth:`set_potential_batch` for per-scenario tables.
+
+        Setting values array-equal to the currently installed potential
+        is a no-op: the clique is left clean so sweeps with repeated
+        scenarios skip the unreached subtree.  Callers must therefore
+        never mutate an installed table in place.
         """
         order = self.schedule.orders[idx]
         if potential.variables != order:
@@ -284,7 +446,33 @@ class PropagationEngine:
                 f"potential for clique {idx} has shape {potential.values.shape}, "
                 f"expected {self.schedule.shapes[idx]}"
             )
-        self._psi[idx] = potential.values
+        self._install_psi(idx, potential.values)
+
+    def set_potential_batch(self, idx: int, values: np.ndarray) -> None:
+        """Install per-scenario potentials for clique ``idx``.
+
+        ``values`` must be a ``(K, *clique_shape)`` stack in the
+        clique's canonical (sorted) variable order; scenario ``k``'s
+        table is ``values[k]``.  Only valid on a batched engine.  The
+        same skip-if-unchanged rule as :meth:`set_potential` applies.
+        """
+        if self.batch_size is None:
+            raise RuntimeError("set_potential_batch requires a batched engine")
+        values = np.asarray(values, dtype=np.float64)
+        expected = (self.batch_size,) + self.schedule.shapes[idx]
+        if values.shape != expected:
+            raise ValueError(
+                f"batched potential for clique {idx} has shape {values.shape}, "
+                f"expected {expected}"
+            )
+        self._install_psi(idx, values)
+
+    def _install_psi(self, idx: int, values: np.ndarray) -> None:
+        old = self._psi[idx]
+        if old is not None and old.shape == values.shape and np.array_equal(old, values):
+            self.counters.potentials_unchanged += 1
+            return
+        self._psi[idx] = values
         self._dirty.add(idx)
 
     @property
@@ -312,6 +500,7 @@ class PropagationEngine:
             else set(range(schedule.n_cliques))
         )
         counters = self.counters
+        scale = self.batch_size or 1
 
         # Which cliques rebuild during collect: a clique is up-dirty if
         # it is dirty itself or any child's upward message changed.
@@ -334,25 +523,32 @@ class PropagationEngine:
                 if not up[node]:
                     continue
                 beta = self._beta[node]
-                np.copyto(beta, self._psi[node])
-                for child in schedule.children[node]:
-                    message = schedule.messages[(child, node)]
+                children = schedule.children[node]
+                if children:
+                    # Fused seed: psi * first child message lands in
+                    # beta directly (same elementwise arithmetic as
+                    # copy-then-multiply, one full pass cheaper).
+                    key = (children[0], node)
                     np.multiply(
-                        beta,
-                        message.values.reshape(message.expand_shape),
+                        self._psi[node],
+                        self._msg[key].reshape(self._expand[key]),
                         out=beta,
                     )
-                    counters.flops += schedule.sizes[node]
+                    for child in children[1:]:
+                        key = (child, node)
+                        np.multiply(
+                            beta,
+                            self._msg[key].reshape(self._expand[key]),
+                            out=beta,
+                        )
+                    counters.flops += len(children) * schedule.sizes[node] * scale
+                else:
+                    np.copyto(beta, self._psi[node])
                 if parent is not None:
-                    message = schedule.messages[(node, parent)]
-                    np.einsum(
-                        beta,
-                        message.source_axes,
-                        message.keep_axes,
-                        out=message.values,
-                    )
+                    key = (node, parent)
+                    _reduce_sum(beta, self._plans[key], self._msg[key])
                     counters.messages_collect += 1
-                    counters.flops += schedule.sizes[node]
+                    counters.flops += schedule.sizes[node] * scale
 
         # Distribute: parent beliefs are complete when visited in
         # pre-order.  A changed parent belief refreshes the downward
@@ -373,6 +569,7 @@ class PropagationEngine:
         self._dirty.clear()
         self._ever_propagated = True
         counters.propagations += 1
+        counters.scenarios_propagated += scale
         self._publish_metrics()
 
     def _publish_metrics(self) -> None:
@@ -395,65 +592,79 @@ class PropagationEngine:
             ("engine.cliques_skipped", "cliques_skipped"),
             ("engine.zero_resurrections", "zero_resurrections"),
             ("engine.flops", "flops"),
+            ("engine.scenarios_propagated", "scenarios_propagated"),
+            ("engine.potentials_unchanged", "potentials_unchanged"),
         ):
             total = getattr(counters, field)
             published = self._published.get(name, 0)
             registry.counter(name).inc(total - published)
             self._published[name] = total
         registry.gauge("engine.factor_bytes.peak").set_max(self.factor_bytes)
+        registry.gauge("engine.batch_size.peak").set_max(self.batch_size or 1)
 
     def _absorb_from_parent(self, node: int, parent: int, rebuilt: bool) -> None:
         """Refresh the downward message parent -> node and absorb it."""
         schedule = self.schedule
-        down = schedule.messages[(parent, node)]
-        up_msg = schedule.messages[(node, parent)]
+        down_key = (parent, node)
+        up_key = (node, parent)
         counters = self.counters
         counters.messages_distribute += 1
-        counters.flops += schedule.sizes[parent] + schedule.sizes[node]
+        counters.flops += (schedule.sizes[parent] + schedule.sizes[node]) * (
+            self.batch_size or 1
+        )
 
         # marg(parent belief) onto the separator, then divide by the
         # upward message.  Wherever the upward message is zero the
         # parent belief's slice is zero too (it contains that message
         # as a factor), so the masked division's zero-fill is exact.
-        new_sep = self._scratch[(parent, node)]
-        np.einsum(
-            self._beta[parent],
-            down.source_axes,
-            down.keep_axes,
-            out=new_sep,
-        )
-        ratio = self._scratch[(node, parent)]
+        new_sep = self._scratch[down_key]
+        _reduce_sum(self._beta[parent], self._plans[down_key], new_sep)
+        up_values = self._msg[up_key]
+        ratio = self._scratch[up_key]
         ratio.fill(0.0)
-        np.divide(new_sep, up_msg.values, out=ratio, where=up_msg.values != 0)
+        np.divide(new_sep, up_values, out=ratio, where=up_values != 0)
 
         beta = self._beta[node]
+        down_values = self._msg[down_key]
+        expand = self._expand[down_key]
         if rebuilt:
             # Partial belief from collect lacks the parent message.
-            np.multiply(beta, ratio.reshape(down.expand_shape), out=beta)
-            down.values[...] = ratio
+            np.multiply(beta, ratio.reshape(expand), out=beta)
+            down_values[...] = ratio
             return
-        old = down.values
+        old = down_values
         if ((old == 0) & (ratio != 0)).any():
             # A zero separator entry came back to life (e.g. an input
             # probability moved off 0): the belief's zero slice cannot
             # be rescaled, so rebuild it from psi and cached messages.
+            # In batched mode one resurrected element rebuilds the whole
+            # clique stack -- the rebuild is correct for every element.
             counters.zero_resurrections += 1
-            down.values[...] = ratio
-            np.copyto(beta, self._psi[node])
-            for child in schedule.children[node]:
-                message = schedule.messages[(child, node)]
+            down_values[...] = ratio
+            children = schedule.children[node]
+            if children:
+                key = (children[0], node)
                 np.multiply(
-                    beta, message.values.reshape(message.expand_shape), out=beta
+                    self._psi[node],
+                    self._msg[key].reshape(self._expand[key]),
+                    out=beta,
                 )
-            np.multiply(beta, ratio.reshape(down.expand_shape), out=beta)
+                for child in children[1:]:
+                    key = (child, node)
+                    np.multiply(
+                        beta, self._msg[key].reshape(self._expand[key]), out=beta
+                    )
+            else:
+                np.copyto(beta, self._psi[node])
+            np.multiply(beta, ratio.reshape(expand), out=beta)
             return
         # Standard Hugin absorption: multiply by new/old on the
         # separator (0/0 = 0; zero slices of the belief stay zero).
         quotient = new_sep  # reuse the scratch buffer; new_sep is consumed
         quotient.fill(0.0)
         np.divide(ratio, old, out=quotient, where=old != 0)
-        np.multiply(beta, quotient.reshape(down.expand_shape), out=beta)
-        down.values[...] = ratio
+        np.multiply(beta, quotient.reshape(expand), out=beta)
+        down_values[...] = ratio
 
     # ------------------------------------------------------------------
     # Results
@@ -461,38 +672,138 @@ class PropagationEngine:
 
     def belief_factors(self) -> List[Factor]:
         """Calibrated clique beliefs as factors (views, not copies)."""
+        if self.batch_size is not None:
+            raise RuntimeError("belief factors are only available in single-query mode")
         return list(self._belief_factors)
 
     def separator_factor(self, u: int, v: int) -> Factor:
         """Final separator marginal over edge ``{u, v}`` (fresh array)."""
-        up_msg = self.schedule.messages[(u, v)]
-        down = self.schedule.messages[(v, u)]
-        return Factor._unsafe(up_msg.sep_vars, up_msg.values * down.values)
+        if self.batch_size is not None:
+            raise RuntimeError(
+                "separator factors are only available in single-query mode"
+            )
+        sep_vars = self.schedule.messages[(u, v)].sep_vars
+        return Factor._unsafe(sep_vars, self._msg[(u, v)] * self._msg[(v, u)])
 
     def clique_total(self, idx: int) -> float:
         return float(self._beta[idx].sum())
 
-    def marginals(self, variables: Sequence[str]) -> Dict[str, np.ndarray]:
+    def marginals(
+        self, variables: Sequence[str], skip_zero: bool = False
+    ) -> Dict[str, np.ndarray]:
         """Batched single-variable marginals.
 
         Variables are grouped by home clique; each clique's belief is
-        normalized once and swept with one einsum per variable, instead
-        of one full ``marginal_onto`` + ``normalize`` pair per variable.
+        reduced onto the requested axes with **one** einsum per clique
+        and the (tiny) reduced table is then swept per variable, instead
+        of one full-table einsum per variable.
+
+        In single-query mode the returned arrays have shape ``(card,)``.
+        On a batched engine they have shape ``(K, card)``, row ``k``
+        being scenario ``k``'s marginal.  Zero-mass beliefs raise
+        :class:`ZeroBeliefError`; on a batched engine the error carries
+        a ``batch_indices`` tuple naming the offending scenarios, and
+        ``skip_zero=True`` instead fills their rows with NaN so the
+        remaining scenarios are unaffected.
         """
+        schedule = self.schedule
         by_clique: Dict[int, List[str]] = {}
         for var in variables:
-            location = self.schedule.variable_axis.get(var)
+            location = schedule.variable_axis.get(var)
             if location is None:
                 raise KeyError(f"unknown variable {var!r}")
             by_clique.setdefault(location[0], []).append(var)
+        batched = self.batch_size is not None
         out: Dict[str, np.ndarray] = {}
         for idx, group in by_clique.items():
             beta = self._beta[idx]
-            total = beta.sum()
-            if total <= 0:
-                raise ZeroBeliefError("cannot normalize a zero belief")
-            axes = list(range(beta.ndim))
+            ndim = len(schedule.shapes[idx])
+            bad = None
+            if batched:
+                k = self.batch_size
+                totals = beta.reshape(k, -1).sum(axis=1)
+                zero = totals <= 0
+                if zero.any():
+                    if not skip_zero:
+                        indices = tuple(int(i) for i in np.nonzero(zero)[0])
+                        err = ZeroBeliefError(
+                            "cannot normalize a zero belief for batch "
+                            f"elements {list(indices)}"
+                        )
+                        err.batch_indices = indices
+                        raise err
+                    bad = zero
+                    totals = np.where(zero, 1.0, totals)
+            else:
+                total = beta.sum()
+                if total <= 0:
+                    raise ZeroBeliefError("cannot normalize a zero belief")
+
+            keep = sorted({schedule.variable_axis[v][1] for v in group})
+            joint_shape = tuple(schedule.shapes[idx][a] for a in keep)
+            if len(keep) == ndim:
+                joint = beta
+            else:
+                plan_key = (idx, tuple(keep))
+                plan = self._marginal_plans.get(plan_key)
+                if plan is None:
+                    plan = _reduction_plan(schedule.shapes[idx], keep)
+                    self._marginal_plans[plan_key] = plan
+                joint = np.empty(
+                    ((self.batch_size,) if batched else ()) + joint_shape
+                )
+                _reduce_sum(beta, plan, joint)
             for var in group:
-                axis = self.schedule.variable_axis[var][1]
-                out[var] = np.einsum(beta, axes, [axis]) / total
+                pos = keep.index(schedule.variable_axis[var][1])
+                plan_key = (idx, tuple(keep), pos)
+                plan = self._marginal_plans.get(plan_key)
+                if plan is None:
+                    plan = _reduction_plan(joint_shape, [pos])
+                    self._marginal_plans[plan_key] = plan
+                card = joint_shape[pos]
+                if batched:
+                    result = np.empty((self.batch_size, card))
+                    _reduce_sum(joint, plan, result)
+                    result /= totals[:, None]
+                    if bad is not None:
+                        result[bad] = np.nan
+                else:
+                    result = np.empty(card)
+                    _reduce_sum(joint, plan, result)
+                    result /= total
+                out[var] = result
         return out
+
+    def joint_marginal(self, idx: int, variables: Sequence[str]) -> np.ndarray:
+        """Normalized joint over ``variables`` from clique ``idx``, batched.
+
+        Returns a ``(K, card_1, ..., card_m)`` array whose slice ``k``
+        mirrors, bitwise, what the single-query reference path
+        (``Factor.marginal_onto(...).normalize().permute(variables)``)
+        computes for scenario ``k``: the reduction uses ``ndarray.sum``
+        over the dropped axes and a broadcast division by per-scenario
+        totals, both elementwise-identical per batch element.
+        """
+        if self.batch_size is None:
+            raise RuntimeError("joint_marginal requires a batched engine")
+        order = self.schedule.orders[idx]
+        wanted = set(variables)
+        missing = wanted - set(order)
+        if missing:
+            raise KeyError(f"clique {idx} does not contain {sorted(missing)}")
+        beta = self._beta[idx]
+        drop = tuple(1 + i for i, v in enumerate(order) if v not in wanted)
+        reduced = beta.sum(axis=drop) if drop else beta
+        kept = [v for v in order if v in wanted]
+        k = self.batch_size
+        totals = reduced.reshape(k, -1).sum(axis=1)
+        if (totals <= 0).any():
+            indices = tuple(int(i) for i in np.nonzero(totals <= 0)[0])
+            err = ZeroBeliefError(
+                f"cannot normalize a zero belief for batch elements {list(indices)}"
+            )
+            err.batch_indices = indices
+            raise err
+        normalized = reduced / totals.reshape((k,) + (1,) * len(kept))
+        perm = tuple(1 + kept.index(v) for v in variables)
+        return normalized.transpose((0,) + perm)

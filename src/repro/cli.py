@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli figures
     python -m repro.cli ablations [--which triangulation|segmentation|compile|inputs]
     python -m repro.cli estimate --circuit c17 [--backend auto] [--p-one 0.5]
+    python -m repro.cli sweep --circuit c17 --scenarios FILE.json [--batch K]
     python -m repro.cli stats --circuit c432s [--json out.json]
     python -m repro.cli cache ls|clear [--dir DIR]
     python -m repro.cli fuzz [--seeds N] [--max-gates N] [--out DIR]
@@ -17,7 +18,10 @@ second run on the same circuit loads the compiled junction trees
 instead of rebuilding them.  ``--circuit`` accepts a suite name *or* a
 path to a ``.bench`` netlist, which is validated before estimation;
 ``--fallback`` enables graceful degradation through the backend chain.
-``cache`` lists or clears the cached artifacts.  ``stats`` profiles
+``sweep`` compiles a circuit once and batch-propagates every
+input-statistics scenario from a JSON file through the compiled model
+in one vectorized pass per batch.  ``cache`` lists or clears the
+cached artifacts.  ``stats`` profiles
 one full compile + propagate + re-propagate cycle with the
 observability layer enabled and prints the span tree and metrics
 (optionally exporting the schema-versioned JSON report); ``--trace
@@ -207,6 +211,84 @@ def _cmd_estimate(args) -> None:
     finish()
 
 
+def _load_scenarios(path: str):
+    """Read a sweep scenario file: a JSON list of input-model specs,
+    or an object with a ``"scenarios"`` list."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read scenario file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed JSON in {path}: {exc}") from exc
+    if isinstance(data, dict):
+        data = data.get("scenarios")
+    if not isinstance(data, list) or not data:
+        raise ReproError(
+            f"{path}: expected a non-empty JSON list of input-model specs "
+            '(or {"scenarios": [...]})'
+        )
+    from repro.core.inputs import input_model_from_spec
+
+    models = []
+    for i, spec in enumerate(data):
+        if not isinstance(spec, dict):
+            raise ReproError(f"{path}: scenario {i} is not an object")
+        try:
+            models.append(input_model_from_spec(spec))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"{path}: scenario {i}: {exc}") from exc
+    return models
+
+
+def _cmd_sweep(args) -> None:
+    """Sweep K input-statistics scenarios against one compile."""
+    import time
+
+    from repro.core.backend import estimate_many
+
+    finish = _maybe_traced(args, "sweep")
+    circuit = _resolve_circuit(args.circuit)
+    models = _load_scenarios(args.scenarios)
+    start = time.perf_counter()
+    results = estimate_many(
+        circuit,
+        models,
+        backend=args.backend,
+        cache=_resolve_cli_cache(args),
+        batch_size=args.batch,
+    )
+    elapsed = time.perf_counter() - start
+    cache_note = {True: "hit", False: "miss", None: "off"}[results[0].cache_hit]
+    batch_note = args.batch if args.batch else len(models)
+    print(
+        f"{circuit.name}: {circuit.num_gates} gates, {len(models)} scenario(s), "
+        f"batch {batch_note}, method {results[0].method}, cache {cache_note}"
+    )
+    rows = [
+        (k, f"{r.mean_activity():.6f}", f"{r.propagate_seconds * 1e3:.2f}")
+        for k, r in enumerate(results)
+    ]
+    print(
+        format_table(
+            ["scenario", "mean_activity", "propagate_ms"],
+            rows,
+            title="Mean switching activity per scenario",
+        )
+    )
+    # compile_seconds is the fresh-compile cost; on a cache hit it was
+    # paid in an earlier process, so the whole elapsed time is queries.
+    query_seconds = elapsed
+    if results[0].cache_hit is not True:
+        query_seconds = max(elapsed - results[0].compile_seconds, 0.0)
+    rate = len(models) / query_seconds if query_seconds > 0 else float("inf")
+    print(
+        f"swept {len(models)} scenario(s) in {elapsed:.3f}s "
+        f"({rate:.1f} scenarios/sec after compile)"
+    )
+    finish()
+
+
 def _cmd_stats(args) -> None:
     """Profile one compile + propagate + re-propagate cycle.
 
@@ -363,6 +445,39 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--trace", default=None, metavar="FILE",
                     help="write an obs JSON report of the run")
     pe.set_defaults(func=_cmd_estimate)
+
+    pw = sub.add_parser(
+        "sweep",
+        help="batch-propagate many input-statistics scenarios over one compile",
+    )
+    pw.add_argument(
+        "--circuit", required=True, metavar="NAME_OR_BENCH",
+        help="suite circuit name, or path to a .bench netlist",
+    )
+    pw.add_argument(
+        "--scenarios", required=True, metavar="FILE",
+        help='JSON list of input-model specs (or {"scenarios": [...]}); '
+             'each spec is {"kind": "independent", "p_one": 0.3}-style',
+    )
+    pw.add_argument(
+        "--batch", type=int, default=None, metavar="K",
+        help="scenarios per batched propagation (default: all in one batch)",
+    )
+    pw.add_argument(
+        "--backend", default="auto",
+        help="inference backend (see `repro.core.backend`); default: auto",
+    )
+    pw.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="compile-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    pw.add_argument(
+        "--no-cache", action="store_true",
+        help="compile fresh, skipping the on-disk cache",
+    )
+    pw.add_argument("--trace", default=None, metavar="FILE",
+                    help="write an obs JSON report of the run")
+    pw.set_defaults(func=_cmd_sweep)
 
     pc = sub.add_parser("cache", help="inspect or clear the compile cache")
     pc.add_argument("action", choices=["ls", "clear"])

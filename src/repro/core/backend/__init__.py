@@ -51,6 +51,7 @@ __all__ = [
     "compile_model",
     "default_cache_dir",
     "estimate",
+    "estimate_many",
     "get_backend",
     "input_structure_signature",
     "register_backend",
@@ -65,6 +66,7 @@ _LAZY = {
     "compile_model": "repro.core.backend.facade",
     "default_cache_dir": "repro.core.backend.cache",
     "estimate": "repro.core.backend.facade",
+    "estimate_many": "repro.core.backend.facade",
     "get_backend": "repro.core.backend.registry",
     "input_structure_signature": "repro.core.backend.cache",
     "register_backend": "repro.core.backend.registry",

@@ -68,6 +68,38 @@ class EstimatorCompiledModel(CompiledModel):
                 self.estimator.update_inputs(inputs)
             return self.estimator.estimate()
 
+    def query_many(
+        self,
+        inputs_list: "list[InputModel]",
+        batch_size: Optional[int] = None,
+    ) -> "list[SwitchingEstimate]":
+        """Vectorized sweep: K scenarios through one batched propagation.
+
+        Delegates to the estimator's ``estimate_many`` (single-BN and
+        segmented estimators propagate the whole chunk in one engine
+        pass; enumeration loops internally).  ``batch_size`` caps the
+        scenarios per pass -- batched propagation memory is
+        ``batch_size x`` the single-query engine footprint.
+        """
+        models = list(inputs_list)
+        if not models:
+            return []
+        estimate_many = getattr(self.estimator, "estimate_many", None)
+        if estimate_many is None:
+            return super().query_many(models, batch_size=batch_size)
+        chunk = len(models) if not batch_size or batch_size < 1 else batch_size
+        results: "list[SwitchingEstimate]" = []
+        with get_tracer().span(
+            "backend.query_many",
+            backend=self.backend_name,
+            circuit=self.circuit.name,
+            scenarios=len(models),
+            batch=chunk,
+        ):
+            for start in range(0, len(models), chunk):
+                results.extend(estimate_many(models[start : start + chunk]))
+        return results
+
     @property
     def compile_seconds(self) -> float:
         return getattr(self.estimator, "compile_seconds", 0.0)

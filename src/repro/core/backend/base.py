@@ -39,7 +39,9 @@ __all__ = ["ARTIFACT_SCHEMA", "ARTIFACT_SCHEMA_VERSION", "Backend", "CompiledMod
 #: Bump whenever the pickled layout of any CompiledModel changes; the
 #: compile cache keys on it, so stale artifacts miss instead of
 #: unpickling garbage.
-ARTIFACT_SCHEMA_VERSION = 1
+#: v2: propagation message buffers moved from the schedule onto the
+#: engine (batched propagation), new engine counters.
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Schema tag written into every saved artifact envelope.
 ARTIFACT_SCHEMA = f"repro.compiled/v{ARTIFACT_SCHEMA_VERSION}"
@@ -108,6 +110,22 @@ class CompiledModel(ABC):
         holds (the repeat-propagation fast path); any other model is
         swapped in without recompiling.
         """
+
+    def query_many(
+        self,
+        inputs_list: "list[InputModel]",
+        batch_size: Optional[int] = None,
+    ) -> "list[SwitchingEstimate]":
+        """Estimate K input-statistics scenarios against one compile.
+
+        The default implementation loops :meth:`query`; backends whose
+        estimator supports batched propagation (junction-tree,
+        segmented) override this with a vectorized pass.  ``batch_size``
+        chunks the sweep (propagation memory scales as
+        ``batch_size x factor_bytes``); ``None`` propagates all K
+        scenarios in one batch.  Loop-based backends ignore it.
+        """
+        return [self.query(model) for model in inputs_list]
 
     @property
     def compile_seconds(self) -> float:

@@ -48,7 +48,7 @@ from repro.errors import CompileError, FallbackExhausted, PropagationError
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 
-__all__ = ["DEFAULT_FALLBACK_CHAIN", "compile_model", "estimate"]
+__all__ = ["DEFAULT_FALLBACK_CHAIN", "compile_model", "estimate", "estimate_many"]
 
 CacheSpec = Union[None, bool, str, os.PathLike, CompileCache]
 FallbackSpec = Union[None, bool, str, Sequence[str]]
@@ -242,3 +242,50 @@ def estimate(
     raise FallbackExhausted(  # pragma: no cover - chain is never empty
         f"{circuit.name}: empty fallback chain"
     )
+
+
+def estimate_many(
+    circuit: Circuit,
+    inputs_list: Sequence[InputModel],
+    backend: str = "auto",
+    cache: CacheSpec = None,
+    batch_size: Optional[int] = None,
+    validate: bool = True,
+    **options: Any,
+):
+    """Sweep K input-statistics scenarios against one compile.
+
+    The batched counterpart of :func:`estimate`: the circuit is
+    compiled (or cache-loaded) exactly once, then every scenario in
+    ``inputs_list`` is queried through
+    :meth:`~repro.core.backend.base.CompiledModel.query_many`, which
+    the exact backends answer with a single vectorized propagation per
+    batch.  Returns one ``SwitchingEstimate`` per scenario, in order.
+
+    Every scenario must induce the same input-to-input edge structure
+    as the first one (the structure is baked into the compile).
+    ``batch_size`` chunks the sweep to bound propagation memory
+    (``batch_size x`` the single-query engine footprint); ``None``
+    propagates all K scenarios in one batch.  There is no fallback
+    chain here -- a failing backend raises its typed error directly.
+    """
+    models = list(inputs_list)
+    if not models:
+        return []
+    first = models[0]
+    if validate:
+        for model in models:
+            validate_pass(circuit, model)
+    compiled = compile_model(
+        circuit,
+        first,
+        backend=backend,
+        cache=cache,
+        validate=False,
+        **options,
+    )
+    results = compiled.query_many(models, batch_size=batch_size)
+    for result in results:
+        result.cache_hit = compiled.cache_hit
+        result.fallbacks = ()
+    return results

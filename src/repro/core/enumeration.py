@@ -138,6 +138,26 @@ class EnumerationSegment:
             method=Method.ENUMERATION.value,
         )
 
+    def estimate_many(self, input_models) -> "list[SwitchingEstimate]":
+        """Estimate K scenarios sequentially.
+
+        Enumeration is already one vectorized pass over the support
+        grid, so there is no batched kernel to exploit; this simply
+        loops :meth:`update_inputs` + :meth:`estimate`.  After the call
+        the cached states/weights (and therefore :meth:`pair_joint`)
+        reflect the *last* scenario -- batched callers that need
+        per-scenario pair joints must read them inside the loop, which
+        :class:`repro.core.segmentation.SegmentedEstimator` does.
+        """
+        results = []
+        for model in input_models:
+            self.update_inputs(model)
+            results.append(self.estimate())
+        return results
+
+    def reset_propagation(self) -> None:
+        """No-op: every estimate is already a full pass."""
+
     def __getstate__(self):
         # The grid and the per-query caches are rebuildable and can be
         # tens of megabytes on wide segments; drop them from artifacts.

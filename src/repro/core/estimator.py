@@ -166,10 +166,17 @@ class SwitchingActivityEstimator:
 
     # ------------------------------------------------------------------
 
-    def estimate(self) -> SwitchingEstimate:
-        """Calibrate and return every line's transition distribution."""
+    def estimate(self, lines=None) -> SwitchingEstimate:
+        """Calibrate and return every line's transition distribution.
+
+        ``lines`` restricts which marginals are extracted (default: all
+        circuit lines).  The segmented pipeline passes each segment's
+        published lines, so marginals the caller would discard are never
+        computed.
+        """
         self.compile()
         tracer = get_tracer()
+        wanted = list(self.circuit.lines) if lines is None else list(lines)
         with tracer.span(
             "estimator.propagate",
             circuit=self.circuit.name,
@@ -179,17 +186,87 @@ class SwitchingActivityEstimator:
                 self._jt.calibrate()
             # One batched sweep reads every line's marginal, grouped by
             # home clique, instead of one marginalization per line.
-            with tracer.span("propagate.marginals", lines=len(self.circuit.lines)):
-                batched = self._jt.marginals(list(self.circuit.lines))
-                distributions = {
-                    line: batched[line] for line in self.circuit.lines
-                }
+            with tracer.span("propagate.marginals", lines=len(wanted)):
+                batched = self._jt.marginals(wanted)
+                distributions = {line: batched[line] for line in wanted}
         return SwitchingEstimate(
             distributions=distributions,
             compile_seconds=self.compile_seconds,
             propagate_seconds=span.duration,
             method=Method.SINGLE_BN.value,
         )
+
+    def estimate_many(self, input_models) -> "list[SwitchingEstimate]":
+        """Estimate K input-statistics scenarios in one batched pass.
+
+        All scenarios propagate through the compiled junction tree
+        together: the engine stacks a leading batch axis onto every
+        belief and message buffer and runs a single vectorized
+        collect/distribute sweep, so the per-query Python overhead
+        (schedule walking, kernel dispatch, marginal extraction) is paid
+        once instead of K times.  Result ``k`` is bitwise-identical to
+        an independent ``estimate()`` with scenario ``k``'s model.
+
+        Every model must induce the same input-to-input edge structure
+        as the compiled one (same rule as :meth:`update_inputs`).  This
+        does not touch the single-query state: ``self.input_model`` and
+        a subsequent :meth:`estimate` are unaffected.
+        ``propagate_seconds`` on each result is the amortized per-
+        scenario share of the batched pass.
+        """
+        models = list(input_models)
+        if not models:
+            return []
+        lines = list(self.circuit.lines)
+        batched, per_scenario = self.estimate_many_stacked(models, lines)
+        return [
+            SwitchingEstimate(
+                distributions={line: batched[line][k] for line in lines},
+                compile_seconds=self.compile_seconds,
+                propagate_seconds=per_scenario,
+                method=Method.SINGLE_BN.value,
+            )
+            for k in range(len(models))
+        ]
+
+    def estimate_many_stacked(self, input_models, lines):
+        """Batched sweep returning stacked ``{line: (K, 4)}`` marginals.
+
+        The workhorse behind :meth:`estimate_many` and the segmented
+        pipeline: restricting ``lines`` (e.g. to a segment's owned
+        internal lines) skips marginal extraction for everything else,
+        and the stacked layout avoids building K per-scenario dicts
+        that a segmented caller would immediately re-stack.  Returns
+        ``(stacks, per_scenario_seconds)``.
+        """
+        models = list(input_models)
+        self.compile()
+        tracer = get_tracer()
+        with tracer.span(
+            "estimator.propagate_many",
+            circuit=self.circuit.name,
+            backend="junction-tree",
+            scenarios=len(models),
+        ) as span:
+            with tracer.span("propagate.update_batch"):
+                cpd_sets = [
+                    m.input_cpds_trusted(self.circuit.inputs) for m in models
+                ]
+                self._jt.update_cpds_batch(cpd_sets)
+            with tracer.span("propagate.calibrate", scenarios=len(models)):
+                batched = self._jt.marginals_batch(list(lines))
+        return batched, span.duration / len(models)
+
+    def reset_propagation(self) -> None:
+        """Mark every clique dirty so the next estimate is a full pass.
+
+        Benchmarks and oracles use this to force complete propagations
+        (a full pass is a pure function of the potentials, so two full
+        passes over equal inputs agree bitwise); normal callers never
+        need it.
+        """
+        if self._jt is not None and self._jt._engine is not None:
+            self._jt._engine.mark_all_dirty()
 
     def propagation_counters(self) -> PropagationCounters:
         """Cumulative engine work counters for this estimator's tree."""

@@ -47,6 +47,56 @@ def _per_input(spec: ProbabilitySpec, name: str, default: float) -> float:
     return float(spec)
 
 
+def _prob_spec(value) -> ProbabilitySpec:
+    """Normalize a JSON probability field: scalar or per-input mapping."""
+    if isinstance(value, Mapping):
+        return {str(k): float(v) for k, v in value.items()}
+    return float(value)
+
+
+def input_model_from_spec(spec: Mapping) -> "InputModel":
+    """Build an :class:`InputModel` from a plain-dict (JSON-friendly) spec.
+
+    The spec vocabulary is shared by the fuzz-reproducer files and the
+    ``repro sweep`` scenario lists; the ``kind`` field selects the
+    model class and the remaining fields are its parameters::
+
+        {"kind": "independent", "p_one": 0.3}
+        {"kind": "independent", "p_one": {"a": 0.9, "b": 0.1}}
+        {"kind": "temporal", "p_one": 0.5, "activity": 0.2}
+        {"kind": "trace", "trace": [[0,1],[1,1]], "input_names": ["a","b"]}
+        {"kind": "correlated", "groups": [["a","b"]], "rho": 0.8,
+         "base_p_one": 0.5}
+
+    Probability fields accept a scalar (applied to every input) or a
+    per-input mapping (missing names default to 0.5).  Raises
+    :class:`~repro.errors.InputModelError` on an unknown ``kind``.
+    """
+    from repro.errors import InputModelError
+
+    kind = spec.get("kind")
+    if kind == "independent":
+        return IndependentInputs(_prob_spec(spec.get("p_one", 0.5)))
+    if kind == "temporal":
+        return TemporalInputs(
+            p_one=_prob_spec(spec.get("p_one", 0.5)),
+            activity=_prob_spec(spec.get("activity", 0.5)),
+        )
+    if kind == "trace":
+        return TraceInputs(
+            np.asarray(spec["trace"], dtype=np.uint8),
+            list(spec["input_names"]),
+            smoothing=float(spec.get("smoothing", 1.0)),
+        )
+    if kind == "correlated":
+        base = IndependentInputs(_prob_spec(spec.get("base_p_one", 0.5)))
+        groups = [tuple(g) for g in spec.get("groups", [])]
+        if not groups:
+            return base
+        return CorrelatedGroupInputs(groups, rho=float(spec["rho"]), base=base)
+    raise InputModelError(f"unknown input-model kind {kind!r}")
+
+
 class InputModel(ABC):
     """Joint stochastic model of the primary-input transition variables."""
 
@@ -76,6 +126,28 @@ class InputModel(ABC):
         prev, curr = self.sample_pairs(input_names, n_pairs, rng)
         return (prev.astype(np.int64) << 1) | curr.astype(np.int64)
 
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        """Like :meth:`input_cpds`, but may skip CPD re-validation.
+
+        Batched scenario sweeps call this K times per ``estimate_many``;
+        the in-repo models override it to build their (normalized by
+        construction) tables through :meth:`TabularCPD._trusted`, which
+        skips the row-sum check that dominates large sweeps.  The
+        default simply delegates, so third-party models stay correct
+        without opting in.
+        """
+        return self.input_cpds(input_names)
+
+    def _trusted_priors(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        """Root-node CPDs from :meth:`marginal_distribution`, unvalidated."""
+        return [
+            TabularCPD._trusted(
+                name,
+                np.asarray(self.marginal_distribution(name), dtype=np.float64),
+            )
+            for name in input_names
+        ]
+
 
 class IndependentInputs(InputModel):
     """Spatially independent, temporally independent input streams.
@@ -104,6 +176,9 @@ class IndependentInputs(InputModel):
             TabularCPD.prior(name, self.marginal_distribution(name))
             for name in input_names
         ]
+
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return self._trusted_priors(input_names)
 
     def sample_pairs(self, input_names, n_pairs, rng):
         probs = np.array([self._p(n) for n in input_names])
@@ -143,6 +218,9 @@ class TemporalInputs(InputModel):
             TabularCPD.prior(name, self.marginal_distribution(name))
             for name in input_names
         ]
+
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return self._trusted_priors(input_names)
 
     def sample_pairs(self, input_names, n_pairs, rng):
         n = len(input_names)
@@ -219,6 +297,9 @@ class TraceInputs(InputModel):
             for name in input_names
         ]
 
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return self._trusted_priors(input_names)
+
     def sample_pairs(self, input_names, n_pairs, rng):
         columns = [self._names.index(name) for name in input_names]
         picks = rng.integers(0, self._trace.shape[0] - 1, size=n_pairs)
@@ -293,6 +374,14 @@ class CorrelatedGroupInputs(InputModel):
         )
 
     def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return self._build_cpds(input_names, trusted=False)
+
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return self._build_cpds(input_names, trusted=True)
+
+    def _build_cpds(
+        self, input_names: Sequence[str], trusted: bool
+    ) -> List[TabularCPD]:
         available = set(input_names)
         cpds: List[TabularCPD] = []
         for name in input_names:
@@ -300,7 +389,15 @@ class CorrelatedGroupInputs(InputModel):
             if parent is None or parent not in available:
                 # Parent absent: marginalizing the chain over it leaves
                 # exactly the implied marginal as this input's prior.
-                cpds.append(TabularCPD.prior(name, self.marginal_distribution(name)))
+                dist = self.marginal_distribution(name)
+                if trusted:
+                    cpds.append(
+                        TabularCPD._trusted(
+                            name, np.asarray(dist, dtype=np.float64)
+                        )
+                    )
+                else:
+                    cpds.append(TabularCPD.prior(name, dist))
             else:
                 fresh = self.base.marginal_distribution(name)
                 table = np.empty((N_STATES, N_STATES))
@@ -308,7 +405,10 @@ class CorrelatedGroupInputs(InputModel):
                     row = (1.0 - self.rho) * fresh
                     row[parent_state] += self.rho
                     table[parent_state] = row
-                cpds.append(TabularCPD(name, N_STATES, table, [parent]))
+                if trusted:
+                    cpds.append(TabularCPD._trusted(name, table, [parent]))
+                else:
+                    cpds.append(TabularCPD(name, N_STATES, table, [parent]))
         return cpds
 
     def sample_pairs(self, input_names, n_pairs, rng):

@@ -60,6 +60,11 @@ class FixedMarginalInputs(InputModel):
             for name in input_names
         ]
 
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        # Distributions were validated once in __init__; sweeps may
+        # skip the per-call CPD re-checks.
+        return self._trusted_priors(input_names)
+
     def sample_pairs(self, input_names, n_pairs, rng):
         states = np.empty((n_pairs, len(input_names)), dtype=np.int64)
         for j, name in enumerate(input_names):
@@ -103,18 +108,35 @@ class TreeBoundaryInputs(InputModel):
         return self._priors[name]
 
     def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        return self._build_cpds(input_names, trusted=False)
+
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        # Priors and conditionals are extracted from calibrated upstream
+        # junction trees (normalized by construction), so sweeps skip
+        # the per-call row-sum re-checks.
+        return self._build_cpds(input_names, trusted=True)
+
+    def _build_cpds(
+        self, input_names: Sequence[str], trusted: bool
+    ) -> List[TabularCPD]:
         available = set(input_names)
         cpds: List[TabularCPD] = []
         for name in input_names:
             parent = self._parent_of.get(name)
             if parent is None or parent not in available:
-                cpds.append(TabularCPD.prior(name, self._priors[name]))
+                if trusted:
+                    cpds.append(TabularCPD._trusted(name, self._priors[name]))
+                else:
+                    cpds.append(TabularCPD.prior(name, self._priors[name]))
             else:
                 table = self._conditionals.get(name)
                 if table is None:
                     # Placeholder structure before numbers are known.
                     table = np.tile(self._priors[name], (N_STATES, 1))
-                cpds.append(TabularCPD(name, N_STATES, table, [parent]))
+                if trusted:
+                    cpds.append(TabularCPD._trusted(name, table, [parent]))
+                else:
+                    cpds.append(TabularCPD(name, N_STATES, table, [parent]))
         return cpds
 
     def sample_pairs(self, input_names, n_pairs, rng):
@@ -182,6 +204,12 @@ class _SegmentInputs(InputModel):
     def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
         primary, rest = self._split(input_names)
         return self.user_model.input_cpds(primary) + self.boundary.input_cpds(rest)
+
+    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
+        primary, rest = self._split(input_names)
+        return self.user_model.input_cpds_trusted(
+            primary
+        ) + self.boundary.input_cpds_trusted(rest)
 
     def sample_pairs(self, input_names, n_pairs, rng):
         primary, rest = self._split(input_names)
@@ -804,6 +832,229 @@ class SegmentedEstimator:
             segments=len(self._segments),
         )
 
+    def estimate_many(self, input_models) -> List[SwitchingEstimate]:
+        """Estimate K input-statistics scenarios in one batched sweep.
+
+        Each junction-tree segment propagates all K scenarios in a
+        single vectorized pass (:meth:`SwitchingActivityEstimator.
+        estimate_many`); enumeration segments loop their (already
+        vectorized) support pass per scenario, caching the pair joints
+        downstream boundary trees will need.  The published boundary
+        marginals flow between segments as ``(K, 4)`` stacks, composing
+        with the ``parallelism`` level pipeline exactly like the
+        single-scenario path.  Result ``k`` is bitwise-identical to an
+        independent :meth:`estimate` with scenario ``k``'s model (same
+        caveat as the engine: identical dirty paths, e.g. fresh
+        compiles or sweeps updating every input).  ``self.input_model``
+        is not modified.
+        """
+        models = list(input_models)
+        if not models:
+            return []
+        self.compile()
+        k = len(models)
+        tracer = get_tracer()
+        with tracer.span(
+            "segmented.propagate_many",
+            circuit=self.circuit.name,
+            segments=len(self._segments),
+            scenarios=k,
+            backend="segmented",
+        ) as span:
+            known: Dict[str, np.ndarray] = {
+                name: np.stack(
+                    [m.marginal_distribution(name) for m in models]
+                )
+                for name in self.circuit.inputs
+            }
+            #: (provider index, parent, child) -> (K, 4, 4) pair joints
+            #: captured during enumeration segments' per-scenario loops
+            enum_joints: Dict[Tuple[int, str, str], np.ndarray] = {}
+            needed = self._needed_enum_joints()
+            if self.parallelism > 1 and len(self._segments) > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                levels = self._segment_levels()
+                with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+                    for level in range(max(levels) + 1):
+                        members = [
+                            i for i, lv in enumerate(levels) if lv == level
+                        ]
+                        with tracer.span(
+                            "segmented.propagate.level",
+                            level=level,
+                            segments=len(members),
+                        ) as level_span:
+                            published = pool.map(
+                                lambda index: self._propagate_segment_batch(
+                                    index,
+                                    known,
+                                    models,
+                                    needed,
+                                    enum_joints,
+                                    parent_span=level_span,
+                                ),
+                                members,
+                            )
+                            for result in published:
+                                known.update(result)
+            else:
+                for index in range(len(self._segments)):
+                    known.update(
+                        self._propagate_segment_batch(
+                            index, known, models, needed, enum_joints
+                        )
+                    )
+        per_scenario = span.duration / k
+        method = (
+            Method.SEGMENTED.value
+            if len(self._segments) > 1
+            else Method.SINGLE_BN.value
+        )
+        return [
+            SwitchingEstimate(
+                distributions={line: known[line][j] for line in known},
+                compile_seconds=self.compile_seconds,
+                propagate_seconds=per_scenario,
+                method=method,
+                segments=len(self._segments),
+            )
+            for j in range(k)
+        ]
+
+    def _needed_enum_joints(self) -> Dict[int, List[Tuple[str, str]]]:
+        """Per enumeration segment, the (parent, child) boundary pairs
+        downstream tree boundaries will request.  Junction-tree
+        providers answer batched joint queries live and need no cache."""
+        from repro.core.enumeration import EnumerationSegment
+
+        needed: Dict[int, List[Tuple[str, str]]] = {}
+        for parent_of in self._boundary_trees:
+            for child, parent in parent_of.items():
+                provider_index = self._owner.get(child)
+                if provider_index is None:
+                    continue
+                if not isinstance(
+                    self._segments[provider_index][1], EnumerationSegment
+                ):
+                    continue
+                pairs = needed.setdefault(provider_index, [])
+                if (parent, child) not in pairs:
+                    pairs.append((parent, child))
+        return needed
+
+    def _propagate_segment_batch(
+        self,
+        index: int,
+        known: Dict[str, np.ndarray],
+        models: List[InputModel],
+        needed: Dict[int, List[Tuple[str, str]]],
+        enum_joints: Dict[Tuple[int, str, str], np.ndarray],
+        parent_span=None,
+    ) -> Dict[str, np.ndarray]:
+        """Batched counterpart of :meth:`_propagate_segment`.
+
+        ``known`` maps each published line to a ``(K, 4)`` stack; the
+        returned dict adds this segment's owned lines in the same
+        layout.  ``enum_joints`` collects per-scenario pair joints while
+        an enumeration segment's scenario loop runs, because
+        :meth:`EnumerationSegment.pair_joint` only reflects the last
+        scenario afterwards.
+        """
+        from repro.core.enumeration import EnumerationSegment
+
+        segment, estimator, owned = self._segments[index]
+        k = len(models)
+        with get_tracer().span(
+            "segment.propagate_many",
+            parent=parent_span,
+            segment=segment.name,
+            scenarios=k,
+        ):
+            primary, boundary_lines = self._split_segment_inputs(segment)
+            parent_of = self._boundary_trees[index]
+            conditionals_b: Dict[str, np.ndarray] = {}
+            for child, parent in parent_of.items():
+                conditionals_b[child] = self._boundary_conditional_batch(
+                    child, parent, known[child], enum_joints
+                )
+            scenario_models: List[InputModel] = []
+            for j in range(k):
+                priors = {name: known[name][j] for name in boundary_lines}
+                if parent_of:
+                    boundary: InputModel = TreeBoundaryInputs(
+                        priors,
+                        parent_of,
+                        {child: conditionals_b[child][j] for child in parent_of},
+                    )
+                else:
+                    boundary = FixedMarginalInputs(priors)
+                scenario_models.append(
+                    _SegmentInputs(models[j], primary, boundary)
+                )
+            published = [
+                line for line in segment.internal_lines if line in owned
+            ]
+            if isinstance(estimator, EnumerationSegment):
+                results = []
+                pairs = needed.get(index, [])
+                for j, scenario in enumerate(scenario_models):
+                    estimator.update_inputs(scenario)
+                    results.append(estimator.estimate())
+                    for parent, child in pairs:
+                        key = (index, parent, child)
+                        buffer = enum_joints.get(key)
+                        if buffer is None:
+                            buffer = enum_joints[key] = np.empty(
+                                (k, N_STATES, N_STATES)
+                            )
+                        buffer[j] = estimator.pair_joint(parent, child)
+                return {
+                    line: np.stack([r.distributions[line] for r in results])
+                    for line in published
+                }
+            # Junction-tree segment: the stacked API returns (K, 4)
+            # stacks directly, skipping K per-scenario dicts that would
+            # be re-stacked here anyway.  The extraction set matches the
+            # single path's restricted ``estimate(lines=published)``
+            # exactly -- a different variable set would regroup the per-
+            # clique joint reductions and perturb the last float bit.
+            stacks, _ = estimator.estimate_many_stacked(
+                scenario_models, published
+            )
+            return {line: stacks[line] for line in published}
+
+    def _boundary_conditional_batch(
+        self,
+        child: str,
+        parent: str,
+        child_priors: np.ndarray,
+        enum_joints: Dict[Tuple[int, str, str], np.ndarray],
+    ) -> np.ndarray:
+        """Batched ``P(child | parent)``: a ``(K, 4, 4)`` stack whose
+        slice ``k`` mirrors :meth:`_boundary_conditional` for scenario
+        ``k`` bitwise (same division, same near-zero-row fallback to
+        the child's prior)."""
+        from repro.core.enumeration import EnumerationSegment
+
+        provider_index = self._owner[child]
+        provider = self._segments[provider_index][1]
+        if isinstance(provider, EnumerationSegment):
+            joint = enum_joints[(provider_index, parent, child)]
+        else:
+            joint = provider.junction_tree.joint_marginal_batch([parent, child])
+        mass = joint.sum(axis=2)
+        ok = mass > 1e-15
+        safe = np.where(ok, mass, 1.0)
+        rows = joint / safe[:, :, None]
+        return np.where(ok[:, :, None], rows, child_priors[:, None, :])
+
+    def reset_propagation(self) -> None:
+        """Force every segment's next estimate to be a full pass (see
+        :meth:`SwitchingActivityEstimator.reset_propagation`)."""
+        for _, estimator, _ in self._segments:
+            estimator.reset_propagation()
+
     def _propagate_segment(
         self,
         index: int,
@@ -837,17 +1088,23 @@ class SegmentedEstimator:
                 )
             else:
                 boundary = FixedMarginalInputs(priors)
+            from repro.core.enumeration import EnumerationSegment
+
             estimator.update_inputs(
                 _SegmentInputs(self.input_model, primary, boundary)
             )
-            result = estimator.estimate()
-        # Only the owned chunk publishes estimates; duplicated lookback
-        # gates exist solely to rebuild local correlation.
-        return {
-            line: result.distributions[line]
-            for line in segment.internal_lines
-            if line in owned
-        }
+            # Only the owned chunk publishes estimates; duplicated
+            # lookback gates exist solely to rebuild local correlation.
+            # Junction-tree segments extract marginals for exactly the
+            # published lines -- anything else would be discarded below.
+            published = [
+                line for line in segment.internal_lines if line in owned
+            ]
+            if isinstance(estimator, EnumerationSegment):
+                result = estimator.estimate()
+            else:
+                result = estimator.estimate(lines=published)
+        return {line: result.distributions[line] for line in published}
 
     def _segment_levels(self) -> List[int]:
         """Dependency level per compiled segment: a segment depends on

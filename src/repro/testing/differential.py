@@ -35,13 +35,7 @@ from repro.circuits.generate import random_layered_circuit
 from repro.circuits.netlist import Circuit
 from repro.core.backend.facade import compile_model
 from repro.core.estimator import exact_switching_by_enumeration
-from repro.core.inputs import (
-    CorrelatedGroupInputs,
-    IndependentInputs,
-    InputModel,
-    TemporalInputs,
-    TraceInputs,
-)
+from repro.core.inputs import InputModel, input_model_from_spec
 from repro.errors import ReproError
 
 __all__ = [
@@ -81,33 +75,16 @@ def input_model_to_json(spec: Dict) -> Dict:
 
 
 def input_model_from_json(data: Dict) -> InputModel:
-    """Rebuild an :class:`InputModel` from a reproducer JSON document."""
+    """Rebuild an :class:`InputModel` from a reproducer JSON document.
+
+    Validates the schema tag, then delegates the kind dispatch to the
+    shared :func:`repro.core.inputs.input_model_from_spec` (the same
+    vocabulary ``repro sweep`` scenario files use).
+    """
     schema = data.get("schema", INPUT_MODEL_SCHEMA)
     if schema != INPUT_MODEL_SCHEMA:
         raise ReproError(f"unknown input-model schema {schema!r}")
-    kind = data["kind"]
-    if kind == "independent":
-        return IndependentInputs({k: float(v) for k, v in data["p_one"].items()})
-    if kind == "temporal":
-        return TemporalInputs(
-            p_one={k: float(v) for k, v in data["p_one"].items()},
-            activity={k: float(v) for k, v in data["activity"].items()},
-        )
-    if kind == "trace":
-        return TraceInputs(
-            np.asarray(data["trace"], dtype=np.uint8),
-            list(data["input_names"]),
-            smoothing=float(data["smoothing"]),
-        )
-    if kind == "correlated":
-        base = IndependentInputs(
-            {k: float(v) for k, v in data["base_p_one"].items()}
-        )
-        groups = [tuple(g) for g in data["groups"]]
-        if not groups:
-            return base
-        return CorrelatedGroupInputs(groups, rho=float(data["rho"]), base=base)
-    raise ReproError(f"unknown input-model kind {kind!r}")
+    return input_model_from_spec(data)
 
 
 def restrict_model_spec(spec: Dict, input_names: Sequence[str]) -> Dict:

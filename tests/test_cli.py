@@ -199,3 +199,91 @@ def test_fuzz_smoke_clean(capsys, tmp_path):
 def test_fuzz_unknown_backend(capsys):
     assert main(["fuzz", "--seeds", "1", "--backends", "warp"]) == 1
     assert "unknown backend" in capsys.readouterr().err
+
+
+class TestSweep:
+    """`repro sweep`: batch-propagate a scenario file over one compile."""
+
+    def _write_scenarios(self, tmp_path, payload):
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_sweep_reports_per_scenario_activity(self, capsys, tmp_path):
+        scenarios = self._write_scenarios(
+            tmp_path,
+            [
+                {"kind": "independent", "p_one": 0.5},
+                {"kind": "independent", "p_one": 0.2},
+                {"kind": "temporal", "p_one": 0.6, "activity": 0.3},
+            ],
+        )
+        assert main(
+            ["sweep", "--circuit", "c17", "--scenarios", scenarios, "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 scenario(s)" in out
+        assert "scenarios/sec" in out
+        # One activity row per scenario, and the fair-coin scenario
+        # reproduces the known c17 mean activity.
+        assert "0.470170" in out
+
+    def test_sweep_batch_flag_chunks_without_changing_results(
+        self, capsys, tmp_path
+    ):
+        scenarios = self._write_scenarios(
+            tmp_path,
+            {"scenarios": [
+                {"kind": "independent", "p_one": p} for p in (0.1, 0.4, 0.7)
+            ]},
+        )
+        assert main(
+            [
+                "sweep", "--circuit", "c17", "--scenarios", scenarios,
+                "--batch", "2", "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 2" in out
+        assert "3 scenario(s)" in out
+
+    def test_sweep_uses_compile_cache(self, capsys, cache_dir, tmp_path):
+        scenarios = self._write_scenarios(
+            tmp_path, [{"kind": "independent", "p_one": 0.5}]
+        )
+        assert main(["sweep", "--circuit", "c17", "--scenarios", scenarios]) == 0
+        assert "cache miss" in capsys.readouterr().out
+        assert main(["sweep", "--circuit", "c17", "--scenarios", scenarios]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_sweep_missing_file_exits_one(self, capsys, tmp_path):
+        assert main(
+            [
+                "sweep", "--circuit", "c17", "--no-cache",
+                "--scenarios", str(tmp_path / "nope.json"),
+            ]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: cannot read scenario file")
+        assert "Traceback" not in err
+
+    def test_sweep_malformed_scenarios_exit_one(self, capsys, tmp_path):
+        for payload in ([], {"scenarios": "nope"}, [{"kind": "warp"}], [42]):
+            scenarios = self._write_scenarios(tmp_path, payload)
+            assert main(
+                [
+                    "sweep", "--circuit", "c17", "--scenarios", scenarios,
+                    "--no-cache",
+                ]
+            ) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("repro: error:")
+            assert "Traceback" not in err
+
+    def test_sweep_invalid_json_exits_one(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(
+            ["sweep", "--circuit", "c17", "--scenarios", str(path), "--no-cache"]
+        ) == 1
+        assert "malformed JSON" in capsys.readouterr().err
