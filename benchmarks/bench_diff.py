@@ -1,0 +1,187 @@
+"""Compare two benchmark JSON artifacts and flag perf regressions.
+
+The CI non-regression gate: given an *old* (committed) and a *new*
+(freshly generated) benchmark report produced by
+``bench_propagation.py`` or ``bench_throughput.py``, compare the
+primary metric row by row and fail when the new run is worse than the
+old one by more than a configurable noise band.
+
+Primary metrics (chosen per the ``"benchmark"`` field):
+
+- ``propagation`` -- ``repeat_estimate_min_seconds`` per circuit row;
+  a regression is ``new > old * (1 + band)``.  Rows where *both* sides
+  are below ``--floor-seconds`` are skipped: sub-millisecond timings
+  are timer noise, not signal.
+- ``throughput`` -- ``batched_scenarios_per_sec`` per
+  ``(circuit, batch_size)`` row; a regression is
+  ``new < old * (1 - band)``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_diff.py OLD.json NEW.json \
+        [--noise-band 0.25] [--floor-seconds 0.001]
+
+Exit codes: ``0`` no regression, ``1`` at least one metric regressed,
+``2`` the two files are not comparable (different benchmark kinds,
+unknown kind, or rows present in the old report missing from the new).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: metric name, row-key fields, and direction per benchmark kind;
+#: ``higher_is_better`` flips the regression inequality.
+_BENCH_KINDS: Dict[str, Dict[str, object]] = {
+    "propagation": {
+        "metric": "repeat_estimate_min_seconds",
+        "key_fields": ("circuit",),
+        "higher_is_better": False,
+    },
+    "throughput": {
+        "metric": "batched_scenarios_per_sec",
+        "key_fields": ("circuit", "batch_size"),
+        "higher_is_better": True,
+    },
+}
+
+
+class BenchDiffError(Exception):
+    """The two reports are not comparable (exit code 2)."""
+
+
+def _row_key(row: Dict, key_fields: Tuple[str, ...]) -> Tuple:
+    return tuple(row.get(field) for field in key_fields)
+
+
+def compare(
+    old_doc: Dict,
+    new_doc: Dict,
+    noise_band: float = 0.25,
+    floor_seconds: float = 0.001,
+) -> List[Dict[str, object]]:
+    """Row-by-row comparison; returns one record per common row.
+
+    Each record carries ``key``, ``metric``, ``old``, ``new``,
+    ``ratio`` (new/old) and ``status`` (``"ok"``, ``"regression"`` or
+    ``"skipped"`` for below-floor timing rows).  Raises
+    :class:`BenchDiffError` when the reports cannot be compared.
+    """
+    old_kind = old_doc.get("benchmark")
+    new_kind = new_doc.get("benchmark")
+    if old_kind != new_kind:
+        raise BenchDiffError(
+            f"benchmark kinds differ: old is {old_kind!r}, new is {new_kind!r}"
+        )
+    spec = _BENCH_KINDS.get(old_kind)
+    if spec is None:
+        raise BenchDiffError(f"unknown benchmark kind {old_kind!r}")
+    metric = spec["metric"]
+    key_fields = spec["key_fields"]
+    higher_is_better = spec["higher_is_better"]
+
+    new_rows = {
+        _row_key(row, key_fields): row for row in new_doc.get("results", [])
+    }
+    records: List[Dict[str, object]] = []
+    missing: List[Tuple] = []
+    for row in old_doc.get("results", []):
+        key = _row_key(row, key_fields)
+        if metric not in row:
+            continue  # old row predates the metric; nothing to compare
+        other = new_rows.get(key)
+        if other is None or metric not in other:
+            missing.append(key)
+            continue
+        old_val = float(row[metric])
+        new_val = float(other[metric])
+        record = {
+            "key": key,
+            "metric": metric,
+            "old": old_val,
+            "new": new_val,
+            "ratio": new_val / old_val if old_val else float("inf"),
+        }
+        if (
+            not higher_is_better
+            and old_val < floor_seconds
+            and new_val < floor_seconds
+        ):
+            record["status"] = "skipped"
+        elif higher_is_better:
+            record["status"] = (
+                "regression" if new_val < old_val * (1.0 - noise_band) else "ok"
+            )
+        else:
+            record["status"] = (
+                "regression" if new_val > old_val * (1.0 + noise_band) else "ok"
+            )
+        records.append(record)
+    if missing:
+        raise BenchDiffError(
+            f"rows present in the old report are missing from the new one: "
+            f"{missing}"
+        )
+    if not records:
+        raise BenchDiffError("no comparable rows between the two reports")
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="committed baseline benchmark JSON")
+    parser.add_argument("new", help="freshly generated benchmark JSON")
+    parser.add_argument(
+        "--noise-band", type=float, default=0.25,
+        help="fractional tolerance before a delta counts as a regression",
+    )
+    parser.add_argument(
+        "--floor-seconds", type=float, default=0.001,
+        help="timing rows where both sides are below this are skipped",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.old) as fh:
+            old_doc = json.load(fh)
+        with open(args.new) as fh:
+            new_doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: cannot read reports: {exc}", file=sys.stderr)
+        return 2
+    try:
+        records = compare(
+            old_doc,
+            new_doc,
+            noise_band=args.noise_band,
+            floor_seconds=args.floor_seconds,
+        )
+    except BenchDiffError as exc:
+        print(f"bench_diff: {exc}", file=sys.stderr)
+        return 2
+
+    worst = 0
+    for record in records:
+        key = ",".join(str(part) for part in record["key"])
+        flag = {"ok": " ", "skipped": "~", "regression": "!"}[record["status"]]
+        print(
+            f"{flag} {key:>16s}  {record['metric']}  "
+            f"old {record['old']:12.6g}  new {record['new']:12.6g}  "
+            f"x{record['ratio']:.3f}  {record['status']}"
+        )
+        if record["status"] == "regression":
+            worst = 1
+    if worst:
+        print(
+            f"bench_diff: regression beyond the {args.noise_band:.0%} "
+            f"noise band",
+            file=sys.stderr,
+        )
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

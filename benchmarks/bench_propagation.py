@@ -1,6 +1,6 @@
 """Propagation-engine benchmark: compile vs. propagate vs. marginal extraction.
 
-Emits ``BENCH_propagation.json`` (schema version 3) -- the perf
+Emits ``BENCH_propagation.json`` (schema version 4) -- the perf
 trajectory datapoint.  The paper's headline claim is the *compile once,
 re-propagate in milliseconds* split; this runner times the three phases
 separately so regressions in any one of them are visible:
@@ -24,11 +24,22 @@ can then be *explained*, not just compared.  The counters are plain
 integer adds inside the engine, so recording them does not perturb the
 timed phases.
 
+Since schema version 4 the primary run uses the sparse message-kernel
+path (``--kernel``, default ``auto``) and every row additionally
+records the compile-time support analysis (``support_density``,
+``feasible_states``, ``total_states``, ``sparse_cliques``) plus a
+dense-kernel comparison run over the same sweep:
+``dense_repeat_estimate_min_seconds`` (the same repeat-phase timing
+with ``kernel="dense"``), ``sparse_speedup`` (dense over primary), and
+``max_abs_diff_vs_dense`` (worst per-line distribution delta between
+the two kernels across the sweep -- the recorded exactness evidence,
+expected at the 1e-15 association-order level, hard-bounded by 1e-12).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_propagation.py \
         [--circuits c17,alu,comp,voter,pcler8,c432s] [--repeats 5] \
-        [--output BENCH_propagation.json]
+        [--kernel auto|dense|sparse] [--output BENCH_propagation.json]
 
 Compilation goes through the backend facade: the ``"junction-tree"``
 backend first, falling back to ``"segmented"`` on
@@ -60,8 +71,12 @@ SWEEP = [0.2, 0.35, 0.5, 0.65, 0.8]
 #: Bump when the emitted JSON shape changes (v2: added ``schema_version``
 #: and per-row ``breakdown`` with engine work counters; v3:
 #: ``repeat_estimate_min_seconds`` is the primary repeat-phase metric
-#: and the breakdown carries the batched-engine counters).
-BENCH_SCHEMA_VERSION = 3
+#: and the breakdown carries the batched-engine counters; v4: rows
+#: record the support analysis -- ``kernel``, ``support_density``,
+#: ``feasible_states``, ``total_states``, ``sparse_cliques`` -- and a
+#: dense-kernel comparison: ``dense_repeat_estimate_min_seconds``,
+#: ``sparse_speedup``, ``max_abs_diff_vs_dense``).
+BENCH_SCHEMA_VERSION = 4
 
 
 def _counters(estimator) -> Dict[str, int]:
@@ -88,33 +103,25 @@ def _extract_marginals(estimator, lines: List[str]) -> float:
     return time.perf_counter() - start
 
 
-def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object]:
-    circuit = suite.load_circuit(name)
-    row: Dict[str, object] = {
-        "circuit": name,
-        "gates": circuit.num_gates,
-        "lines": len(circuit.lines),
-    }
-
-    start = time.perf_counter()
+def _compile_estimator(circuit, parallelism: int, kernel: str):
+    """Junction tree first, segmented past the clique budget (CLI rule)."""
     try:
         estimator = compile_model(
-            circuit, backend="junction-tree", max_clique_states=4 ** 10
+            circuit,
+            backend="junction-tree",
+            max_clique_states=4 ** 10,
+            kernel=kernel,
         ).estimator
-        row["method"] = "single-bn"
+        return estimator, "single-bn"
     except CliqueBudgetExceeded:
         estimator = compile_model(
-            circuit, backend="segmented", parallelism=parallelism
+            circuit, backend="segmented", parallelism=parallelism, kernel=kernel
         ).estimator
-        row["method"] = "segmented"
-        row["segments"] = estimator.num_segments
-    row["compile_seconds"] = time.perf_counter() - start
+        return estimator, "segmented"
 
-    start = time.perf_counter()
-    first = estimator.estimate()
-    row["first_estimate_seconds"] = time.perf_counter() - start
-    after_first = _counters(estimator)
 
+def _repeat_cycles(estimator, repeats: int) -> List[float]:
+    """Seconds per ``update_inputs`` + ``estimate`` cycle over the sweep."""
     cycle_seconds = []
     for i in range(repeats):
         model = IndependentInputs(SWEEP[i % len(SWEEP)])
@@ -122,8 +129,78 @@ def bench_circuit(name: str, repeats: int, parallelism: int) -> Dict[str, object
         estimator.update_inputs(model)
         estimator.estimate()
         cycle_seconds.append(time.perf_counter() - start)
+    return cycle_seconds
+
+
+def _max_abs_diff(estimator_a, estimator_b) -> float:
+    """Worst per-line distribution delta between two estimators' sweeps."""
+    worst = 0.0
+    for p in SWEEP:
+        model = IndependentInputs(p)
+        estimator_a.update_inputs(model)
+        estimator_b.update_inputs(model)
+        got = estimator_a.estimate().distributions
+        ref = estimator_b.estimate().distributions
+        for line, dist in ref.items():
+            delta = float(abs(dist - got[line]).max())
+            if delta > worst:
+                worst = delta
+    return worst
+
+
+def bench_circuit(
+    name: str, repeats: int, parallelism: int, kernel: str = "auto"
+) -> Dict[str, object]:
+    circuit = suite.load_circuit(name)
+    row: Dict[str, object] = {
+        "circuit": name,
+        "gates": circuit.num_gates,
+        "lines": len(circuit.lines),
+        "kernel": kernel,
+    }
+
+    start = time.perf_counter()
+    estimator, method = _compile_estimator(circuit, parallelism, kernel)
+    row["method"] = method
+    if method == "segmented":
+        row["segments"] = estimator.num_segments
+    row["compile_seconds"] = time.perf_counter() - start
+    if hasattr(estimator, "support_stats"):
+        stats = estimator.support_stats()
+        row["support_density"] = stats["support_density"]
+        row["feasible_states"] = stats["feasible_states"]
+        row["total_states"] = stats["total_states"]
+        row["sparse_cliques"] = stats["sparse_cliques"]
+
+    start = time.perf_counter()
+    first = estimator.estimate()
+    row["first_estimate_seconds"] = time.perf_counter() - start
+    after_first = _counters(estimator)
+
+    cycle_seconds = _repeat_cycles(estimator, repeats)
     row["repeat_estimate_seconds"] = statistics.mean(cycle_seconds)
     row["repeat_estimate_min_seconds"] = min(cycle_seconds)
+
+    # Dense-kernel comparison over the same sweep: the speedup the
+    # packed kernels buy, and the recorded evidence that they change
+    # nothing (worst per-line delta, expected at float association-
+    # order level).
+    if kernel != "dense":
+        dense, _ = _compile_estimator(circuit, parallelism, "dense")
+        dense.estimate()  # first calibration outside the timed region
+        dense_cycles = _repeat_cycles(dense, repeats)
+        row["dense_repeat_estimate_min_seconds"] = min(dense_cycles)
+        row["sparse_speedup"] = (
+            row["dense_repeat_estimate_min_seconds"]
+            / row["repeat_estimate_min_seconds"]
+        )
+        row["max_abs_diff_vs_dense"] = _max_abs_diff(estimator, dense)
+    else:
+        row["dense_repeat_estimate_min_seconds"] = row[
+            "repeat_estimate_min_seconds"
+        ]
+        row["sparse_speedup"] = 1.0
+        row["max_abs_diff_vs_dense"] = 0.0
 
     if not isinstance(estimator, SegmentedEstimator):
         row["marginal_extraction_seconds"] = _extract_marginals(
@@ -171,6 +248,10 @@ def main(argv=None) -> int:
         "--parallelism", type=int, default=0,
         help="worker threads for segmented circuits (0 = serial)",
     )
+    parser.add_argument(
+        "--kernel", default="auto", choices=("auto", "dense", "sparse"),
+        help="message-kernel mode for the primary run",
+    )
     parser.add_argument("--output", default="BENCH_propagation.json")
     args = parser.parse_args(argv)
     if args.repeats < 1:
@@ -181,14 +262,17 @@ def main(argv=None) -> int:
         name = name.strip()
         if not name:
             continue
-        row = bench_circuit(name, args.repeats, args.parallelism)
+        row = bench_circuit(name, args.repeats, args.parallelism, args.kernel)
         rows.append(row)
         print(
             f"{name:>10s}  {row['method']:>9s}  "
             f"compile {row['compile_seconds']:7.3f}s  "
             f"first {row['first_estimate_seconds']:7.3f}s  "
             f"repeat(min) {row['repeat_estimate_min_seconds']:7.3f}s  "
-            f"repeat(mean) {row['repeat_estimate_seconds']:7.3f}s"
+            f"dense(min) {row['dense_repeat_estimate_min_seconds']:7.3f}s  "
+            f"x{row['sparse_speedup']:5.2f}  "
+            f"density {row.get('support_density', 1.0):5.3f}  "
+            f"diff {row['max_abs_diff_vs_dense']:.1e}"
         )
 
     report = {

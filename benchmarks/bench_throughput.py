@@ -1,6 +1,6 @@
 """Multi-scenario sweep throughput: batched vs. looped propagation.
 
-Emits ``BENCH_throughput.json`` (schema version 1).  PR 5's tentpole
+Emits ``BENCH_throughput.json`` (schema version 2).  PR 5's tentpole
 claim is that K input-statistics queries against one compiled model
 should cost one batched einsum pass, not K sequential propagations;
 this runner measures exactly that ratio:
@@ -30,6 +30,11 @@ Usage::
 
 ``--quick`` shrinks the run to the CI smoke configuration (c17 only,
 K in {1, 64}, 2 repeats).
+
+Since schema version 2 compiles are kernel-aware (``--kernel``, default
+``auto`` -- the sparse message-kernel path) and every row records the
+``kernel`` mode plus the compile-time ``support_density`` and
+``sparse_cliques`` of the model it timed.
 """
 
 from __future__ import annotations
@@ -50,8 +55,10 @@ from repro.core.inputs import IndependentInputs
 DEFAULT_CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8", "c432s"]
 DEFAULT_BATCH_SIZES = [1, 8, 64, 256]
 
-#: Bump when the emitted JSON shape changes.
-BENCH_SCHEMA_VERSION = 1
+#: Bump when the emitted JSON shape changes (v2: kernel-aware
+#: compiles; rows carry ``kernel``, ``support_density`` and
+#: ``sparse_cliques`` from the compile-time support analysis).
+BENCH_SCHEMA_VERSION = 2
 
 #: Golden-ratio increment: scenario probabilities fill (0.05, 0.95)
 #: quasi-uniformly, and the per-repeat salt shifts the whole set so no
@@ -66,16 +73,19 @@ def _scenarios(k: int, salt: int) -> List[IndependentInputs]:
     ]
 
 
-def _compile(circuit, parallelism: int):
+def _compile(circuit, parallelism: int, kernel: str = "auto"):
     """Junction tree first, segmented past the clique budget (CLI rule)."""
     try:
         model = compile_model(
-            circuit, backend="junction-tree", max_clique_states=4 ** 10
+            circuit,
+            backend="junction-tree",
+            max_clique_states=4 ** 10,
+            kernel=kernel,
         )
         return model, "single-bn"
     except CliqueBudgetExceeded:
         model = compile_model(
-            circuit, backend="segmented", parallelism=parallelism
+            circuit, backend="segmented", parallelism=parallelism, kernel=kernel
         )
         return model, "segmented"
 
@@ -86,7 +96,9 @@ def _loop_sweep(estimator, models) -> None:
         estimator.estimate()
 
 
-def _bitwise_check(circuit, parallelism: int, k: int) -> Dict[str, object]:
+def _bitwise_check(
+    circuit, parallelism: int, k: int, kernel: str
+) -> Dict[str, object]:
     """Fresh-compile oracle: batched sweep vs. looped full propagations.
 
     Both sides force complete propagations (``reset_propagation`` marks
@@ -95,13 +107,13 @@ def _bitwise_check(circuit, parallelism: int, k: int) -> Dict[str, object]:
     any difference is a real kernel divergence, not float noise.
     """
     models = _scenarios(k, salt=0)
-    loop_model, _ = _compile(circuit, parallelism)
+    loop_model, _ = _compile(circuit, parallelism, kernel)
     oracle = []
     for model in models:
         loop_model.estimator.reset_propagation()
         loop_model.estimator.update_inputs(model)
         oracle.append(loop_model.estimator.estimate())
-    batch_model, _ = _compile(circuit, parallelism)
+    batch_model, _ = _compile(circuit, parallelism, kernel)
     batched = batch_model.query_many(models)
     worst = 0.0
     equal = True
@@ -115,11 +127,20 @@ def _bitwise_check(circuit, parallelism: int, k: int) -> Dict[str, object]:
 
 
 def bench_circuit(
-    name: str, batch_sizes: List[int], repeats: int, parallelism: int
+    name: str,
+    batch_sizes: List[int],
+    repeats: int,
+    parallelism: int,
+    kernel: str = "auto",
 ) -> List[Dict[str, object]]:
     circuit = suite.load_circuit(name)
-    model, method = _compile(circuit, parallelism)
+    model, method = _compile(circuit, parallelism, kernel)
     estimator = model.estimator
+    stats = (
+        estimator.support_stats()
+        if hasattr(estimator, "support_stats")
+        else {"support_density": 1.0, "sparse_cliques": 0}
+    )
     rows: List[Dict[str, object]] = []
     for k in batch_sizes:
         # Warm both paths once (outside timing) so one-time costs --
@@ -139,6 +160,9 @@ def bench_circuit(
             "circuit": name,
             "gates": circuit.num_gates,
             "method": method,
+            "kernel": kernel,
+            "support_density": stats["support_density"],
+            "sparse_cliques": stats["sparse_cliques"],
             "batch_size": k,
             "looped_seconds": looped,
             "batched_seconds": batched,
@@ -146,7 +170,7 @@ def bench_circuit(
             "batched_scenarios_per_sec": k / batched,
             "speedup": looped / batched,
         }
-        row.update(_bitwise_check(circuit, parallelism, k))
+        row.update(_bitwise_check(circuit, parallelism, k, kernel))
         rows.append(row)
         print(
             f"{name:>10s}  K={k:<4d} "
@@ -180,6 +204,10 @@ def main(argv=None) -> int:
         help="worker threads for segmented circuits (0 = serial)",
     )
     parser.add_argument(
+        "--kernel", default="auto", choices=("auto", "dense", "sparse"),
+        help="message-kernel mode for every compile",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="CI smoke configuration: c17 only, K in {1, 64}, 2 repeats",
     )
@@ -202,7 +230,11 @@ def main(argv=None) -> int:
 
     rows: List[Dict[str, object]] = []
     for name in circuits:
-        rows.extend(bench_circuit(name, batch_sizes, repeats, args.parallelism))
+        rows.extend(
+            bench_circuit(
+                name, batch_sizes, repeats, args.parallelism, args.kernel
+            )
+        )
 
     report = {
         "benchmark": "throughput",

@@ -68,7 +68,10 @@ class JunctionTree:
         elimination_order: List[str],
         fill_ins: List[Tuple[str, str]],
         engine: bool = True,
+        kernel: str = "auto",
     ):
+        if kernel not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown kernel mode {kernel!r}")
         self._bn = bn
         self.cliques = cliques
         self.tree = tree
@@ -112,6 +115,16 @@ class JunctionTree:
         #: by tests and benchmarks as the slow oracle.
         self._use_engine = engine
         self._engine: Optional[PropagationEngine] = None
+        #: message-kernel mode handed to the schedule ("auto" | "dense"
+        #: | "sparse"; see :class:`PropagationSchedule`)
+        self._kernel = kernel
+        #: per-node (variables, 0/1 support) recorded when deterministic
+        #: CPD masks feed a compiled schedule; the soundness guard in
+        #: update_cpds checks replacement CPDs against these.
+        self._mask_supports: Dict[str, Tuple[Tuple[str, ...], np.ndarray]] = {}
+        #: nodes whose CPDs once violated their recorded support; they
+        #: never contribute masks again (treated as free tables).
+        self._mask_exclude: Set[str] = set()
         #: shared immutable message schedule (built on first engine use;
         #: serves both the single-query and the batched engine)
         self._schedule: Optional[PropagationSchedule] = None
@@ -133,6 +146,7 @@ class JunctionTree:
         elimination_order: Optional[Sequence[str]] = None,
         max_clique_states: Optional[int] = None,
         engine: bool = True,
+        kernel: str = "auto",
     ) -> "JunctionTree":
         """Compile a Bayesian network into a junction tree.
 
@@ -153,6 +167,12 @@ class JunctionTree:
             Use the compiled propagation engine
             (:mod:`repro.bayesian.propagation`).  ``False`` selects the
             Factor-based reference path (slower; kept as an oracle).
+        kernel:
+            Message-kernel mode for the compiled schedule: ``"auto"``
+            (default) packs cliques whose deterministic-CPD support is
+            sparse enough to win, ``"dense"`` keeps the PR-1 dense
+            reductions everywhere, ``"sparse"`` forces packed kernels
+            on every clique with any infeasible entry.
         """
         from repro.bayesian.triangulate import max_clique_state_space
 
@@ -197,7 +217,15 @@ class JunctionTree:
             with tracer.span("compile.spanning_tree"):
                 tree = cls._build_tree(cliques)
             with tracer.span("compile.potentials"):
-                return cls(bn, cliques, tree, order, fills, engine=engine)
+                jt = cls(
+                    bn, cliques, tree, order, fills, engine=engine, kernel=kernel
+                )
+            if engine:
+                # Build the message schedule (and its support analysis)
+                # eagerly: it is part of the compile-once artifact, so
+                # pickled models and compile-cache hits skip both.
+                jt._ensure_schedule()
+            return jt
 
     @staticmethod
     def _build_tree(cliques: List[frozenset]) -> nx.Graph:
@@ -375,7 +403,15 @@ class JunctionTree:
         if self._cpd_products is not None:
             for idx in affected:
                 self._cpd_products[idx] = self._clique_cpd_product(idx)
-        if self._engine is not None and self._cpd_products is not None:
+        if self._mask_supports and self._supports_violated(cpds):
+            # A replacement CPD put mass outside the support its old
+            # deterministic table promised (e.g. a gate CPD swapped for
+            # a noisy one).  The packed kernels compiled against the old
+            # masks would silently drop that mass, so drop the compiled
+            # state; the next calibration re-analyzes without the
+            # offending node's mask.
+            self._invalidate_compiled()
+        elif self._engine is not None and self._cpd_products is not None:
             self._mark_cliques_dirty(affected)
         else:
             self._init_potentials()
@@ -384,7 +420,9 @@ class JunctionTree:
     # Batched multi-scenario propagation
     # ------------------------------------------------------------------
 
-    def update_cpds_batch(self, cpd_sets: Sequence[Iterable[TabularCPD]]) -> int:
+    def update_cpds_batch(
+        self, cpd_sets: Sequence[Iterable[TabularCPD]], dtype: str = "float64"
+    ) -> int:
         """Install K scenarios' CPDs for one batched propagation pass.
 
         ``cpd_sets[k]`` plays the role of :meth:`update_cpds`'s argument
@@ -396,6 +434,11 @@ class JunctionTree:
         batch (only the updated cliques' potentials differ per
         scenario).  Returns K.  Query results with
         :meth:`marginals_batch` / :meth:`joint_marginal_batch`.
+
+        ``dtype="float32"`` builds the batched engine with float32
+        buffers: half the ``K x`` memory and faster memory-bound sweeps,
+        at a ~``1e-6`` relative tolerance versus float64 (see
+        :class:`~repro.bayesian.propagation.PropagationEngine`).
         """
         sets = [list(s) for s in cpd_sets]
         if not sets:
@@ -446,9 +489,18 @@ class JunctionTree:
                     )
                 by_var[cpd.variable].append(cpd)
 
+        if self._mask_supports and self._supports_violated(
+            [cpd for cpds_for_var in by_var.values() for cpd in cpds_for_var]
+        ):
+            self._invalidate_compiled()
+
         schedule = self._ensure_schedule()
-        if self._batch_engine is None or self._batch_engine.batch_size != k:
-            engine = PropagationEngine(schedule, batch_size=k)
+        if (
+            self._batch_engine is None
+            or self._batch_engine.batch_size != k
+            or self._batch_engine.dtype != np.dtype(dtype)
+        ):
+            engine = PropagationEngine(schedule, batch_size=k, dtype=dtype)
             for idx in range(len(self.cliques)):
                 # Gate-clique tables are identical across scenarios and
                 # broadcast over the batch axis.
@@ -503,13 +555,150 @@ class JunctionTree:
 
     def _ensure_schedule(self) -> PropagationSchedule:
         """Build (once) the immutable message schedule shared by the
-        single-query and batched engines."""
+        single-query and batched engines.  Non-dense kernel modes run
+        the support analysis here, so it is paid once per compile and
+        serializes with the tree (cache hits skip it entirely)."""
         if self._schedule is None:
-            with get_tracer().span("compile.schedule", cliques=len(self.cliques)):
-                self._schedule = PropagationSchedule(
-                    self.cliques, self.tree.edges, self._cardinalities
+            with get_tracer().span(
+                "compile.schedule",
+                cliques=len(self.cliques),
+                kernel=self._kernel,
+            ):
+                masks = (
+                    self._deterministic_masks()
+                    if self._kernel != "dense"
+                    else None
                 )
+                self._schedule = PropagationSchedule(
+                    self.cliques,
+                    self.tree.edges,
+                    self._cardinalities,
+                    clique_masks=masks,
+                    kernel=self._kernel,
+                )
+            self._publish_support_gauges()
         return self._schedule
+
+    def _deterministic_masks(self) -> List[Optional[np.ndarray]]:
+        """Per-clique 0/1 feasibility masks from deterministic gate CPDs.
+
+        Each non-root deterministic CPD (a 0/1 indicator table) ANDs its
+        support into the clique it is assigned to; every other CPD --
+        including root/input priors, whose tables *change* between
+        queries and may only look deterministic at p in {0, 1} --
+        contributes nothing, keeping the masks sound under every input
+        model.  Records each contributing node's support so
+        :meth:`update_cpds` can detect replacements that break it.
+        """
+        masks: List[Optional[np.ndarray]] = [None] * len(self.cliques)
+        self._mask_supports = {}
+        for node, idx in self._cpd_assignment.items():
+            if node in self._mask_exclude:
+                continue
+            cpd = self._bn.cpd(node)
+            if not cpd.parents or not cpd.is_deterministic():
+                continue
+            factor = cpd.to_factor()
+            support = factor.values != 0
+            self._mask_supports[node] = (factor.variables, support)
+            order = tuple(sorted(self.cliques[idx]))
+            position = {v: i for i, v in enumerate(order)}
+            axes = np.array([position[v] for v in factor.variables])
+            # Permute the support's axes into clique-canonical order,
+            # then pad singleton axes for the clique variables the CPD
+            # does not mention so it broadcasts against the clique table.
+            arranged = support.transpose(np.argsort(axes))
+            shape = [1] * len(order)
+            for pos, size in zip(np.sort(axes), arranged.shape):
+                shape[pos] = size
+            expanded = arranged.reshape(shape)
+            masks[idx] = expanded if masks[idx] is None else masks[idx] & expanded
+        for idx, mask in enumerate(masks):
+            if mask is not None:
+                shape = tuple(
+                    self._cardinalities[v] for v in sorted(self.cliques[idx])
+                )
+                masks[idx] = np.ascontiguousarray(np.broadcast_to(mask, shape))
+        return masks
+
+    def _supports_violated(self, cpds: Iterable[TabularCPD]) -> bool:
+        """Check replacement CPDs against their recorded mask supports.
+
+        Violating nodes are added to ``_mask_exclude`` so a rebuilt
+        schedule never trusts them again.  Returns True if any new CPD
+        has mass outside its recorded support.
+        """
+        violated = False
+        for cpd in cpds:
+            recorded = self._mask_supports.get(cpd.variable)
+            if recorded is None:
+                continue
+            variables, support = recorded
+            values = cpd.to_factor().permute(variables).values
+            if ((values != 0) & ~support).any():
+                self._mask_exclude.add(cpd.variable)
+                violated = True
+        return violated
+
+    def _invalidate_compiled(self) -> None:
+        """Drop the compiled schedule and engines (support masks went
+        stale) and restore initial potentials for a fresh calibration.
+
+        The potential rebuild is load-bearing: after a calibration
+        ``self._potentials`` are belief *views* over the dropped
+        engine's buffers, and seeding a new engine with beliefs instead
+        of initial potentials would square the evidence.
+        """
+        self._schedule = None
+        self._engine = None
+        self._batch_engine = None
+        self._mask_supports = {}
+        self._init_potentials()
+
+    def _publish_support_gauges(self) -> None:
+        """Export the schedule's support analysis to the metrics registry."""
+        registry = get_metrics()
+        if not registry.enabled:
+            return
+        schedule = self._schedule
+        total = sum(schedule.sizes)
+        feasible = sum(schedule.support_nnz)
+        registry.gauge("jt.feasible_states").add(feasible)
+        registry.gauge("jt.support_density").set_max(
+            feasible / total if total else 1.0
+        )
+        registry.gauge("jt.sparse_cliques").add(int(sum(schedule.sparse)))
+
+    def support_stats(self) -> Dict[str, object]:
+        """Support-analysis summary: kernel mode, feasible states, density.
+
+        Builds the schedule on first call (engine mode only; the
+        Factor-based reference path reports dense full support).
+        """
+        if not self._use_engine:
+            total = sum(
+                int(np.prod([self._cardinalities[v] for v in c]))
+                for c in self.cliques
+            )
+            return {
+                "kernel": "dense",
+                "cliques": len(self.cliques),
+                "sparse_cliques": 0,
+                "total_states": total,
+                "feasible_states": total,
+                "support_density": 1.0,
+            }
+        schedule = self._ensure_schedule()
+        total = sum(schedule.sizes)
+        feasible = sum(schedule.support_nnz)
+        return {
+            "kernel": schedule.kernel,
+            "cliques": schedule.n_cliques,
+            "sparse_cliques": int(sum(schedule.sparse)),
+            "total_states": int(total),
+            "feasible_states": int(feasible),
+            "support_density": feasible / total if total else 1.0,
+        }
 
     def __getstate__(self):
         # The batched engine is a per-sweep cache keyed by batch size;

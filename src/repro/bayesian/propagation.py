@@ -59,6 +59,23 @@ over scenario ``k``'s potentials -- the results agree *bitwise*, not
 just to tolerance, whenever the two runs take the same dirty paths
 (e.g. both are first propagations, or every sweep updates the same
 cliques).
+
+- **Determinism-aware sparse kernels**: gate CPDs are 0/1 indicator
+  tables, so most entries of a wide clique potential are *structurally*
+  impossible under every input model.  Given per-clique feasibility
+  masks (:class:`PropagationSchedule` ``clique_masks``), the schedule
+  runs one boolean collect/distribute pass to compute each clique's and
+  separator's exact feasible support, then compiles *packed* kernels
+  for cliques below a density threshold: beliefs live in ``(nnz,)`` /
+  ``(K, nnz)`` buffers, messages absorb through precomputed gather
+  indices, and separator marginals use a grouped ``np.add.reduceat``
+  over index arrays instead of a dense einsum.  Separator buffers stay
+  dense (they are small), so sparse and dense cliques mix freely in one
+  tree.  The packed kernels keep the batched/single bitwise-parity
+  property above -- every gather is elementwise and every ``reduceat``
+  segment sums left-to-right per batch row -- but sparse results differ
+  from *dense* results in the last few ulps (different association
+  order), hence the ``<= 1e-12`` sparse-vs-dense verification bar.
 """
 
 from __future__ import annotations
@@ -150,6 +167,124 @@ def _reduce_sum(src: np.ndarray, plan, out: np.ndarray) -> None:
         )
     else:  # "copy": separator spans the whole clique
         np.copyto(out, src)
+
+
+def _cast_plan(plan, dtype):
+    """Re-type the constant vectors of a reduction plan.
+
+    ``np.dot`` / ``np.matmul`` with an ``out=`` whose dtype differs from
+    the product's would raise, so a non-float64 engine keeps
+    dtype-matched copies of the shared plans' ``ones`` vectors.
+    """
+    if plan[0] == "dot":
+        return ("dot", plan[1], plan[2].astype(dtype))
+    if plan[0] == "vecmat":
+        return ("vecmat", plan[1], plan[2], plan[3].astype(dtype))
+    return plan
+
+
+def _sep_flat_indices(
+    flat_idx: np.ndarray,
+    shape: Tuple[int, ...],
+    keep_axes: Sequence[int],
+    out_shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Flat index on ``keep_axes`` of each packed clique entry."""
+    coords = np.unravel_index(flat_idx, shape)
+    return np.ravel_multi_index(tuple(coords[a] for a in keep_axes), out_shape)
+
+
+def _sparse_reduce_plan(
+    flat_idx: np.ndarray,
+    shape: Tuple[int, ...],
+    keep_axes: Sequence[int],
+    out_shape: Tuple[int, ...],
+):
+    """Compile one packed-entries -> dense-target sum reduction.
+
+    Returns ``(perm, seg_starts, out_index, covers_all)``: gather the
+    packed entries with ``perm`` (``None`` when they are already in
+    target order), sum each run of equal target indices with
+    ``np.add.reduceat`` at ``seg_starts``, and scatter the segment sums
+    to ``out_index``; ``covers_all`` means every target entry receives a
+    segment, so the zero-fill can be skipped.
+    """
+    target_idx = _sep_flat_indices(flat_idx, shape, keep_axes, out_shape)
+    perm = np.argsort(target_idx, kind="stable")
+    if np.array_equal(perm, np.arange(perm.size)):
+        perm, sorted_idx = None, target_idx
+    else:
+        sorted_idx = target_idx[perm]
+    out_index, seg_starts = np.unique(sorted_idx, return_index=True)
+    covers_all = out_index.size == int(np.prod(out_shape))
+    return (perm, seg_starts, out_index, covers_all)
+
+
+def _sparse_reduce(
+    src: np.ndarray, plan, out: np.ndarray, scratch: Optional[np.ndarray] = None
+) -> None:
+    """Sum a packed ``lead + (nnz,)`` buffer onto a dense target.
+
+    ``plan`` comes from :func:`_sparse_reduce_plan`.  Infeasible target
+    entries are zero-filled (they receive no mass by construction).
+    Per-segment ``reduceat`` sums are sequential left-to-right per batch
+    row, so batch row ``k`` goes through exactly the arithmetic of an
+    unbatched reduce -- the engine's batched/single bitwise parity
+    survives the sparse path.  ``scratch`` (a ``lead + (nnz,)`` buffer)
+    avoids the gather temporary when a permutation is needed.
+    """
+    perm, seg_starts, out_index, covers_all = plan
+    if perm is not None:
+        if scratch is None:
+            src = src[..., perm]
+        else:
+            np.take(src, perm, axis=-1, out=scratch)
+            src = scratch
+    segments = np.add.reduceat(src, seg_starts, axis=-1)
+    flat = out.reshape(src.shape[:-1] + (-1,))
+    if covers_all:
+        np.copyto(flat, segments)
+    else:
+        flat.fill(0.0)
+        flat[..., out_index] = segments
+
+
+class _SparseClique:
+    """Packed-entry index plans for one sparse clique.
+
+    The packed order is the clique's feasible entries sorted by their
+    parent-edge separator index (plain ascending flat order at a root),
+    so the hottest reduction -- the upward message -- needs no gather
+    permutation.  ``gathers[j]`` maps each packed entry to its flat
+    separator index toward neighbor ``j`` (the message-absorb gather);
+    ``reduce_plans[j]`` is the outgoing reduce plan toward ``j``.
+    """
+
+    __slots__ = ("flat_idx", "nnz", "gathers", "reduce_plans")
+
+    def __init__(self, idx: int, mask: np.ndarray, schedule: "PropagationSchedule"):
+        shape = schedule.shapes[idx]
+        flat = np.flatnonzero(mask)
+        parent = schedule.parent[idx]
+        if parent is not None:
+            msg = schedule.messages[(idx, parent)]
+            sep_idx = _sep_flat_indices(flat, shape, msg.keep_axes, msg.sep_shape)
+            flat = flat[np.argsort(sep_idx, kind="stable")]
+        self.flat_idx = flat
+        self.nnz = int(flat.size)
+        self.gathers: Dict[int, np.ndarray] = {}
+        self.reduce_plans: Dict[int, tuple] = {}
+        neighbors = ([parent] if parent is not None else []) + list(
+            schedule.children[idx]
+        )
+        for j in neighbors:
+            msg = schedule.messages[(idx, j)]
+            self.gathers[j] = _sep_flat_indices(
+                flat, shape, msg.keep_axes, msg.sep_shape
+            )
+            self.reduce_plans[j] = _sparse_reduce_plan(
+                flat, shape, msg.keep_axes, msg.sep_shape
+            )
 
 
 class PropagationCounters:
@@ -263,10 +398,25 @@ class PropagationSchedule:
         Undirected tree edges as ``(u, v)`` clique-index pairs.
     cardinalities:
         State counts per variable.
+    clique_masks:
+        Optional per-clique 0/1 feasibility masks in the clique's
+        canonical (sorted) variable order (``None`` entries mean full
+        support).  Typically the AND of the deterministic gate CPDs
+        assigned to each clique; non-deterministic CPDs must contribute
+        all-ones so the analysis stays sound under *every* input model.
+    kernel:
+        ``"dense"`` (default) ignores the masks for kernel selection;
+        ``"auto"`` packs cliques whose propagated support density is at
+        most ``density_threshold`` (and whose table has at least
+        ``min_sparse_states`` entries -- tiny tables are faster dense);
+        ``"sparse"`` packs every clique with any infeasible entry.
+    density_threshold / min_sparse_states:
+        The ``"auto"`` selection knobs.
 
     The schedule is immutable once built and is shared by every
     :class:`PropagationEngine` propagation over the same tree,
-    single-query and batched alike.
+    single-query and batched alike.  Support analysis runs once here,
+    so engines of any batch size (and pickled artifacts) reuse it.
     """
 
     def __init__(
@@ -274,7 +424,13 @@ class PropagationSchedule:
         cliques: Sequence[frozenset],
         edges: Iterable[Tuple[int, int]],
         cardinalities: Dict[str, int],
+        clique_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        kernel: str = "dense",
+        density_threshold: float = 0.25,
+        min_sparse_states: int = 256,
     ):
+        if kernel not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown kernel mode {kernel!r}")
         self.n_cliques = len(cliques)
         #: canonical (sorted) variable order per clique
         self.orders: List[Tuple[str, ...]] = [tuple(sorted(c)) for c in cliques]
@@ -344,6 +500,109 @@ class PropagationSchedule:
             for axis, var in enumerate(order):
                 self.variable_axis.setdefault(var, (idx, axis))
 
+        #: resolved kernel mode this schedule was compiled for
+        self.kernel = kernel
+        #: per-clique feasible-state masks (``None`` = full support)
+        self.supports: List[Optional[np.ndarray]] = [None] * self.n_cliques
+        #: feasible entries per clique (== ``sizes`` where support is full)
+        self.support_nnz: List[int] = list(self.sizes)
+        #: per-clique kernel choice; ``True`` cliques use packed buffers
+        self.sparse: List[bool] = [False] * self.n_cliques
+        #: compiled index plans for the sparse cliques
+        self.sparse_cliques: Dict[int, _SparseClique] = {}
+        #: entries each kernel actually touches per clique pass (``nnz``
+        #: when sparse) -- the unit of the engine's FLOP estimates
+        self.work_sizes: List[int] = list(self.sizes)
+        #: feasible separator entries per directed tree edge (diagnostics)
+        self.sep_support_nnz: Dict[Tuple[int, int], int] = {}
+        if (
+            kernel != "dense"
+            and clique_masks is not None
+            and any(mask is not None for mask in clique_masks)
+        ):
+            self._analyze_support(
+                clique_masks, kernel, density_threshold, min_sparse_states
+            )
+
+    def _analyze_support(
+        self,
+        clique_masks: Sequence[Optional[np.ndarray]],
+        kernel: str,
+        density_threshold: float,
+        min_sparse_states: int,
+    ) -> None:
+        """Propagate feasibility masks and pick per-clique kernels.
+
+        One boolean collect/distribute pass over the message schedule: a
+        clique's *partial* mask is its CPD mask ANDed with every child's
+        upward mask (ANY-reduced onto the separator), and its final mask
+        additionally ANDs the ANY-reduce of the parent's final mask.
+        The result is exact for Hugin propagation: wherever a final mask
+        is 0, the calibrated belief entry is structurally 0 under every
+        assignment of the unmasked (input) potentials, because an
+        upward-message zero forces the matching parent-belief slice to
+        zero and vice versa.
+        """
+
+        def any_reduce(mask: np.ndarray, keep_axes: Sequence[int]) -> np.ndarray:
+            axes = tuple(a for a in range(mask.ndim) if a not in keep_axes)
+            return mask.any(axis=axes) if axes else mask
+
+        n = self.n_cliques
+        psi = [
+            np.ones(self.shapes[i], dtype=bool)
+            if clique_masks[i] is None
+            else np.asarray(clique_masks[i], dtype=bool)
+            for i in range(n)
+        ]
+        partial: List[Optional[np.ndarray]] = [None] * n
+        up: Dict[Tuple[int, int], np.ndarray] = {}
+        for component in self.components:
+            for node, parent in reversed(component):
+                mask = psi[node]
+                for child in self.children[node]:
+                    msg = self.messages[(child, node)]
+                    mask = mask & up[(child, node)].reshape(msg.expand_shape)
+                partial[node] = mask
+                if parent is not None:
+                    msg = self.messages[(node, parent)]
+                    up[(node, parent)] = any_reduce(mask, msg.keep_axes)
+        final: List[Optional[np.ndarray]] = [None] * n
+        for component in self.components:
+            for node, parent in component:
+                if parent is None:
+                    final[node] = partial[node]
+                    continue
+                msg = self.messages[(parent, node)]
+                down = any_reduce(final[parent], msg.keep_axes)
+                final[node] = partial[node] & down.reshape(msg.expand_shape)
+                sep = down & up[(node, parent)]
+                sep_nnz = int(np.count_nonzero(sep))
+                self.sep_support_nnz[(parent, node)] = sep_nnz
+                self.sep_support_nnz[(node, parent)] = sep_nnz
+
+        for idx in range(n):
+            mask = final[idx]
+            nnz = int(np.count_nonzero(mask))
+            self.support_nnz[idx] = nnz
+            size = self.sizes[idx]
+            if nnz >= size or nnz == 0:
+                # Full support -- or a degenerate, everywhere-infeasible
+                # clique (contradictory determinism): stay dense.
+                continue
+            self.supports[idx] = mask
+            if kernel == "sparse":
+                pick = True
+            else:
+                pick = (
+                    nnz / size <= density_threshold
+                    and size >= min_sparse_states
+                )
+            if pick:
+                self.sparse[idx] = True
+                self.work_sizes[idx] = nnz
+                self.sparse_cliques[idx] = _SparseClique(idx, mask, self)
+
 
 class PropagationEngine:
     """Preallocated Hugin propagation with dirty-clique tracking.
@@ -367,29 +626,81 @@ class PropagationEngine:
         shared across the batch (:meth:`set_potential`, broadcast) or
         per-scenario (:meth:`set_potential_batch`), and
         :meth:`marginals` returns ``(K, card)`` arrays.
+    dtype:
+        Buffer dtype, ``float64`` (default) or ``float32``.  Float32 is
+        an opt-in *batch-axis* mode -- it halves the ``K x`` buffer
+        footprint and speeds memory-bound sweeps at a documented
+        ~``1e-6`` relative tolerance -- and therefore requires a batched
+        engine; single-query engines stay float64.  Shared potentials
+        installed via :meth:`set_potential` remain float64 (ufunc
+        ``out=`` casting handles the mixed multiply), while per-scenario
+        stacks are cast on install.
+
+    Cliques the schedule compiled as sparse keep their beliefs in
+    packed ``lead + (nnz,)`` buffers; separator messages stay dense.
+    A single-query engine additionally keeps a dense zero-padded mirror
+    of each packed belief (scattered after every propagation) so
+    :meth:`belief_factors` and the junction tree's Factor surface are
+    unchanged; a batched engine skips the mirrors entirely, which is
+    where the ``K x`` memory saving comes from.
     """
 
-    def __init__(self, schedule: PropagationSchedule, batch_size: Optional[int] = None):
+    def __init__(
+        self,
+        schedule: PropagationSchedule,
+        batch_size: Optional[int] = None,
+        dtype=np.float64,
+    ):
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"unsupported engine dtype {dtype}")
+        if dtype != np.float64 and batch_size is None:
+            raise ValueError(
+                "dtype='float32' is a batch-axis mode; single-query engines "
+                "are always float64"
+            )
         self.schedule = schedule
         self.batch_size = batch_size
+        self.dtype = dtype
         lead: Tuple[int, ...] = () if batch_size is None else (int(batch_size),)
         n = schedule.n_cliques
+        packed = schedule.sparse_cliques
         self._psi: List[Optional[np.ndarray]] = [None] * n
-        self._beta: List[np.ndarray] = [np.empty(lead + s) for s in schedule.shapes]
+        self._beta: List[np.ndarray] = [
+            np.empty(
+                lead + ((packed[i].nnz,) if i in packed else schedule.shapes[i]),
+                dtype=dtype,
+            )
+            for i in range(n)
+        ]
         #: message buffers and scratch separator buffers, per directed edge
         self._msg: Dict[Tuple[int, int], np.ndarray] = {
-            key: np.empty(lead + msg.sep_shape)
+            key: np.empty(lead + msg.sep_shape, dtype=dtype)
             for key, msg in schedule.messages.items()
         }
         self._scratch: Dict[Tuple[int, int], np.ndarray] = {
-            key: np.empty(lead + msg.sep_shape)
+            key: np.empty(lead + msg.sep_shape, dtype=dtype)
             for key, msg in schedule.messages.items()
         }
+        #: packed gather scratch, one per sparse clique
+        self._sp_scratch: Dict[int, np.ndarray] = {
+            i: np.empty(lead + (sp.nnz,), dtype=dtype) for i, sp in packed.items()
+        }
+        #: dense zero-padded mirrors of packed beliefs (single-query
+        #: mode only); out-of-support entries are written exactly once,
+        #: here, and stay zero forever.
+        self._dense_beta: Dict[int, np.ndarray] = (
+            {i: np.zeros(schedule.shapes[i]) for i in packed}
+            if batch_size is None
+            else {}
+        )
         #: per-edge reduction kernels (shared, batch-agnostic) and
         #: broadcast shapes for this mode
         self._plans = {k: m.plan for k, m in schedule.messages.items()}
+        if dtype != np.float64:
+            self._plans = {k: _cast_plan(p, dtype) for k, p in self._plans.items()}
         self._expand = {
             k: lead + m.expand_shape for k, m in schedule.messages.items()
         }
@@ -403,18 +714,25 @@ class PropagationEngine:
         #: counter totals already mirrored into the global registry
         self._published: Dict[str, int] = {}
         #: bytes held by the preallocated belief/message/scratch buffers
+        #: (including packed scratch and dense mirrors, so the reported
+        #: footprint matches what is actually allocated)
         self.factor_bytes = (
             sum(beta.nbytes for beta in self._beta)
             + sum(buf.nbytes for buf in self._msg.values())
             + sum(buf.nbytes for buf in self._scratch.values())
+            + sum(buf.nbytes for buf in self._sp_scratch.values())
+            + sum(buf.nbytes for buf in self._dense_beta.values())
         )
         #: Factor views over the belief buffers (stable identity; the
         #: arrays mutate in place across propagations).  Single-query
         #: mode only: a batched belief is not a factor over the clique.
+        #: Sparse cliques expose their dense mirrors.
         self._belief_factors: List[Factor] = (
             [
-                Factor._unsafe(order, beta)
-                for order, beta in zip(schedule.orders, self._beta)
+                Factor._unsafe(order, self._dense_beta.get(i, beta))
+                for i, (order, beta) in enumerate(
+                    zip(schedule.orders, self._beta)
+                )
             ]
             if batch_size is None
             else []
@@ -446,7 +764,19 @@ class PropagationEngine:
                 f"potential for clique {idx} has shape {potential.values.shape}, "
                 f"expected {self.schedule.shapes[idx]}"
             )
-        self._install_psi(idx, potential.values)
+        values = potential.values
+        sp = self.schedule.sparse_cliques.get(idx)
+        if sp is not None:
+            # Packing keeps only the *final* (calibrated) support.  An
+            # initial potential may carry mass outside it -- entries the
+            # message products annihilate -- and dropping that mass here
+            # is exact: such entries only ever feed separator indices
+            # whose support is empty, which in turn only touch other
+            # out-of-support entries.  Soundness against *changed*
+            # deterministic CPDs is enforced upstream
+            # (JunctionTree.update_cpds re-checks recorded supports).
+            values = values.reshape(-1)[sp.flat_idx]
+        self._install_psi(idx, values)
 
     def set_potential_batch(self, idx: int, values: np.ndarray) -> None:
         """Install per-scenario potentials for clique ``idx``.
@@ -458,13 +788,18 @@ class PropagationEngine:
         """
         if self.batch_size is None:
             raise RuntimeError("set_potential_batch requires a batched engine")
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=self.dtype)
         expected = (self.batch_size,) + self.schedule.shapes[idx]
         if values.shape != expected:
             raise ValueError(
                 f"batched potential for clique {idx} has shape {values.shape}, "
                 f"expected {expected}"
             )
+        sp = self.schedule.sparse_cliques.get(idx)
+        if sp is not None:
+            # Same silent out-of-support drop as set_potential (exact;
+            # see the comment there).
+            values = values.reshape(self.batch_size, -1)[:, sp.flat_idx]
         self._install_psi(idx, values)
 
     def _install_psi(self, idx: int, values: np.ndarray) -> None:
@@ -485,6 +820,49 @@ class PropagationEngine:
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
+
+    def _seed_belief(self, node: int) -> None:
+        """Rebuild ``node``'s partial belief: psi times child messages.
+
+        Dense cliques use the fused first multiply (psi * first child
+        message lands in beta directly -- same elementwise arithmetic as
+        copy-then-multiply, one full pass cheaper).  Packed cliques
+        gather each child message at the packed entries' separator
+        indices and multiply elementwise, never materializing the dense
+        table.
+        """
+        schedule = self.schedule
+        beta = self._beta[node]
+        psi = self._psi[node]
+        children = schedule.children[node]
+        sp = schedule.sparse_cliques.get(node)
+        if sp is None:
+            if children:
+                key = (children[0], node)
+                np.multiply(
+                    psi, self._msg[key].reshape(self._expand[key]), out=beta
+                )
+                for child in children[1:]:
+                    key = (child, node)
+                    np.multiply(
+                        beta, self._msg[key].reshape(self._expand[key]), out=beta
+                    )
+            else:
+                np.copyto(beta, psi)
+            return
+        if not children:
+            np.copyto(beta, psi)
+            return
+        scratch = self._sp_scratch[node]
+        lead = beta.shape[:-1]
+        child = children[0]
+        msg = self._msg[(child, node)].reshape(lead + (-1,))
+        np.take(msg, sp.gathers[child], axis=-1, out=scratch)
+        np.multiply(psi, scratch, out=beta)
+        for child in children[1:]:
+            msg = self._msg[(child, node)].reshape(lead + (-1,))
+            np.take(msg, sp.gathers[child], axis=-1, out=scratch)
+            np.multiply(beta, scratch, out=beta)
 
     def propagate(self) -> None:
         """Collect + distribute, touching only dirty-reachable messages."""
@@ -522,33 +900,26 @@ class PropagationEngine:
             for node, parent in reversed(component):
                 if not up[node]:
                     continue
-                beta = self._beta[node]
+                self._seed_belief(node)
                 children = schedule.children[node]
                 if children:
-                    # Fused seed: psi * first child message lands in
-                    # beta directly (same elementwise arithmetic as
-                    # copy-then-multiply, one full pass cheaper).
-                    key = (children[0], node)
-                    np.multiply(
-                        self._psi[node],
-                        self._msg[key].reshape(self._expand[key]),
-                        out=beta,
+                    counters.flops += (
+                        len(children) * schedule.work_sizes[node] * scale
                     )
-                    for child in children[1:]:
-                        key = (child, node)
-                        np.multiply(
-                            beta,
-                            self._msg[key].reshape(self._expand[key]),
-                            out=beta,
-                        )
-                    counters.flops += len(children) * schedule.sizes[node] * scale
-                else:
-                    np.copyto(beta, self._psi[node])
                 if parent is not None:
                     key = (node, parent)
-                    _reduce_sum(beta, self._plans[key], self._msg[key])
+                    sp = schedule.sparse_cliques.get(node)
+                    if sp is None:
+                        _reduce_sum(self._beta[node], self._plans[key], self._msg[key])
+                    else:
+                        _sparse_reduce(
+                            self._beta[node],
+                            sp.reduce_plans[parent],
+                            self._msg[key],
+                            self._sp_scratch[node],
+                        )
                     counters.messages_collect += 1
-                    counters.flops += schedule.sizes[node] * scale
+                    counters.flops += schedule.work_sizes[node] * scale
 
         # Distribute: parent beliefs are complete when visited in
         # pre-order.  A changed parent belief refreshes the downward
@@ -565,6 +936,15 @@ class PropagationEngine:
                 elif changed[parent]:
                     changed[node] = True
                     self._absorb_from_parent(node, parent, up[node])
+
+        # Single-query mode: scatter touched packed beliefs onto their
+        # dense mirrors so belief factors stay correct.  Out-of-support
+        # entries were zeroed at allocation and are never written.
+        for idx, dense in self._dense_beta.items():
+            if up[idx] or changed[idx]:
+                dense.reshape(-1)[
+                    schedule.sparse_cliques[idx].flat_idx
+                ] = self._beta[idx]
 
         self._dirty.clear()
         self._ever_propagated = True
@@ -609,20 +989,34 @@ class PropagationEngine:
         up_key = (node, parent)
         counters = self.counters
         counters.messages_distribute += 1
-        counters.flops += (schedule.sizes[parent] + schedule.sizes[node]) * (
-            self.batch_size or 1
-        )
+        counters.flops += (
+            schedule.work_sizes[parent] + schedule.work_sizes[node]
+        ) * (self.batch_size or 1)
 
         # marg(parent belief) onto the separator, then divide by the
         # upward message.  Wherever the upward message is zero the
         # parent belief's slice is zero too (it contains that message
         # as a factor), so the masked division's zero-fill is exact.
         new_sep = self._scratch[down_key]
-        _reduce_sum(self._beta[parent], self._plans[down_key], new_sep)
+        sp_parent = schedule.sparse_cliques.get(parent)
+        if sp_parent is None:
+            _reduce_sum(self._beta[parent], self._plans[down_key], new_sep)
+        else:
+            _sparse_reduce(
+                self._beta[parent],
+                sp_parent.reduce_plans[node],
+                new_sep,
+                self._sp_scratch[parent],
+            )
         up_values = self._msg[up_key]
         ratio = self._scratch[up_key]
         ratio.fill(0.0)
         np.divide(new_sep, up_values, out=ratio, where=up_values != 0)
+
+        sp = schedule.sparse_cliques.get(node)
+        if sp is not None:
+            self._absorb_sparse(node, parent, rebuilt, ratio, new_sep, sp)
+            return
 
         beta = self._beta[node]
         down_values = self._msg[down_key]
@@ -641,21 +1035,7 @@ class PropagationEngine:
             # clique stack -- the rebuild is correct for every element.
             counters.zero_resurrections += 1
             down_values[...] = ratio
-            children = schedule.children[node]
-            if children:
-                key = (children[0], node)
-                np.multiply(
-                    self._psi[node],
-                    self._msg[key].reshape(self._expand[key]),
-                    out=beta,
-                )
-                for child in children[1:]:
-                    key = (child, node)
-                    np.multiply(
-                        beta, self._msg[key].reshape(self._expand[key]), out=beta
-                    )
-            else:
-                np.copyto(beta, self._psi[node])
+            self._seed_belief(node)
             np.multiply(beta, ratio.reshape(expand), out=beta)
             return
         # Standard Hugin absorption: multiply by new/old on the
@@ -664,6 +1044,49 @@ class PropagationEngine:
         quotient.fill(0.0)
         np.divide(ratio, old, out=quotient, where=old != 0)
         np.multiply(beta, quotient.reshape(expand), out=beta)
+        down_values[...] = ratio
+
+    def _absorb_sparse(
+        self,
+        node: int,
+        parent: int,
+        rebuilt: bool,
+        ratio: np.ndarray,
+        quotient_buf: np.ndarray,
+        sp: _SparseClique,
+    ) -> None:
+        """Absorb a refreshed downward message into a packed belief.
+
+        Same three cases as the dense path; the separator-sized factor
+        (ratio or new/old quotient) is gathered at the packed entries'
+        separator indices and multiplied elementwise.
+        """
+        beta = self._beta[node]
+        down_values = self._msg[(parent, node)]
+        scratch = self._sp_scratch[node]
+        lead = beta.shape[:-1]
+        gather = sp.gathers[parent]
+        if rebuilt:
+            # Partial belief from collect lacks the parent message.
+            np.take(ratio.reshape(lead + (-1,)), gather, axis=-1, out=scratch)
+            np.multiply(beta, scratch, out=beta)
+            down_values[...] = ratio
+            return
+        old = down_values
+        if ((old == 0) & (ratio != 0)).any():
+            # Zero-resurrection rebuild, packed flavor: reseed from psi
+            # and cached child messages, then apply the new ratio.
+            self.counters.zero_resurrections += 1
+            self._seed_belief(node)
+            np.take(ratio.reshape(lead + (-1,)), gather, axis=-1, out=scratch)
+            np.multiply(beta, scratch, out=beta)
+            down_values[...] = ratio
+            return
+        quotient = quotient_buf  # reuse; the caller's new_sep is consumed
+        quotient.fill(0.0)
+        np.divide(ratio, old, out=quotient, where=old != 0)
+        np.take(quotient.reshape(lead + (-1,)), gather, axis=-1, out=scratch)
+        np.multiply(beta, scratch, out=beta)
         down_values[...] = ratio
 
     # ------------------------------------------------------------------
@@ -739,30 +1162,46 @@ class PropagationEngine:
                 if total <= 0:
                     raise ZeroBeliefError("cannot normalize a zero belief")
 
+            sp = schedule.sparse_cliques.get(idx)
+            lead = (self.batch_size,) if batched else ()
             keep = sorted({schedule.variable_axis[v][1] for v in group})
             joint_shape = tuple(schedule.shapes[idx][a] for a in keep)
-            if len(keep) == ndim:
+            if sp is None and len(keep) == ndim:
                 joint = beta
             else:
+                # A packed belief always reduces through the sparse
+                # kernel (even onto the full clique scope), in both
+                # engine modes, so single-query and batched marginals
+                # keep their bitwise parity.
                 plan_key = (idx, tuple(keep))
                 plan = self._marginal_plans.get(plan_key)
                 if plan is None:
-                    plan = _reduction_plan(schedule.shapes[idx], keep)
+                    if sp is None:
+                        plan = _reduction_plan(schedule.shapes[idx], keep)
+                        if self.dtype != np.float64:
+                            plan = _cast_plan(plan, self.dtype)
+                    else:
+                        plan = _sparse_reduce_plan(
+                            sp.flat_idx, schedule.shapes[idx], keep, joint_shape
+                        )
                     self._marginal_plans[plan_key] = plan
-                joint = np.empty(
-                    ((self.batch_size,) if batched else ()) + joint_shape
-                )
-                _reduce_sum(beta, plan, joint)
+                joint = np.empty(lead + joint_shape, dtype=self.dtype)
+                if sp is None:
+                    _reduce_sum(beta, plan, joint)
+                else:
+                    _sparse_reduce(beta, plan, joint, self._sp_scratch[idx])
             for var in group:
                 pos = keep.index(schedule.variable_axis[var][1])
                 plan_key = (idx, tuple(keep), pos)
                 plan = self._marginal_plans.get(plan_key)
                 if plan is None:
                     plan = _reduction_plan(joint_shape, [pos])
+                    if self.dtype != np.float64:
+                        plan = _cast_plan(plan, self.dtype)
                     self._marginal_plans[plan_key] = plan
                 card = joint_shape[pos]
                 if batched:
-                    result = np.empty((self.batch_size, card))
+                    result = np.empty((self.batch_size, card), dtype=self.dtype)
                     _reduce_sum(joint, plan, result)
                     result /= totals[:, None]
                     if bad is not None:
@@ -792,6 +1231,18 @@ class PropagationEngine:
         if missing:
             raise KeyError(f"clique {idx} does not contain {sorted(missing)}")
         beta = self._beta[idx]
+        sp = self.schedule.sparse_cliques.get(idx)
+        if sp is not None:
+            # Scatter the packed belief to a dense stack, then reduce
+            # with the same ``ndarray.sum`` the dense path uses -- this
+            # is the slow Factor-compatible surface (segment boundary
+            # extraction), so bitwise parity with the reference path
+            # outranks avoiding one dense temporary.
+            dense = np.zeros(
+                (self.batch_size,) + self.schedule.shapes[idx], dtype=self.dtype
+            )
+            dense.reshape(self.batch_size, -1)[:, sp.flat_idx] = beta
+            beta = dense
         drop = tuple(1 + i for i, v in enumerate(order) if v not in wanted)
         reduced = beta.sum(axis=drop) if drop else beta
         kept = [v for v in order if v in wanted]

@@ -183,6 +183,10 @@ def _cmd_estimate(args) -> None:
 
     finish = _maybe_traced(args, "estimate")
     circuit = _resolve_circuit(args.circuit)
+    # --kernel is only forwarded when set: exact backends accept it and
+    # bake it into the compile (and its cache key); backends without the
+    # knob (enumeration, baselines) would reject the option.
+    kernel_opts = {"kernel": args.kernel} if args.kernel else {}
     result = estimate(
         circuit,
         IndependentInputs(args.p_one),
@@ -190,6 +194,7 @@ def _cmd_estimate(args) -> None:
         cache=_resolve_cli_cache(args),
         fallback=args.fallback or None,
         budget_seconds=args.budget_seconds,
+        **kernel_opts,
     )
     cache_note = {True: "hit", False: "miss", None: "off"}[result.cache_hit]
     print(
@@ -251,12 +256,15 @@ def _cmd_sweep(args) -> None:
     circuit = _resolve_circuit(args.circuit)
     models = _load_scenarios(args.scenarios)
     start = time.perf_counter()
+    kernel_opts = {"kernel": args.kernel} if args.kernel else {}
     results = estimate_many(
         circuit,
         models,
         backend=args.backend,
         cache=_resolve_cli_cache(args),
         batch_size=args.batch,
+        dtype=args.dtype,
+        **kernel_opts,
     )
     elapsed = time.perf_counter() - start
     cache_note = {True: "hit", False: "miss", None: "off"}[results[0].cache_hit]
@@ -302,9 +310,10 @@ def _cmd_stats(args) -> None:
     obs.enable()
     tracer = obs.get_tracer()
     circuit = _resolve_circuit(args.circuit)
+    kernel_opts = {"kernel": args.kernel} if args.kernel else {}
     with tracer.span("stats.run", circuit=args.circuit):
         model = compile_model(
-            circuit, IndependentInputs(args.p_one), backend="auto"
+            circuit, IndependentInputs(args.p_one), backend="auto", **kernel_opts
         )
         result = model.query()
         repeat = model.query(IndependentInputs(args.repropagate_p_one))
@@ -320,6 +329,15 @@ def _cmd_stats(args) -> None:
     obs.validate_report(report)
     obs.check_span_containment(report)
     print(obs.render_report(report))
+    support = getattr(model.estimator, "support_stats", None)
+    if support is not None:
+        st = support()
+        print(
+            f"kernel {st['kernel']}: {st['feasible_states']}/"
+            f"{st['total_states']} feasible clique states "
+            f"(density {st['support_density']:.3f}), "
+            f"{st['sparse_cliques']}/{st['cliques']} packed cliques"
+        )
     print(
         f"compile {result.compile_seconds:.3f}s, "
         f"first propagate {result.propagate_seconds:.3f}s, "
@@ -435,6 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget; once exceeded, jump to the cheapest fallback",
     )
     pe.add_argument(
+        "--kernel", choices=["auto", "dense", "sparse"], default=None,
+        help="propagation message kernel for exact backends "
+             "(default: the backend's own default, auto)",
+    )
+    pe.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="compile-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
@@ -468,6 +491,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="inference backend (see `repro.core.backend`); default: auto",
     )
     pw.add_argument(
+        "--kernel", choices=["auto", "dense", "sparse"], default=None,
+        help="propagation message kernel for exact backends "
+             "(default: the backend's own default, auto)",
+    )
+    pw.add_argument(
+        "--dtype", choices=["float64", "float32"], default="float64",
+        help="batch-buffer dtype; float32 halves sweep memory at ~1e-6 "
+             "relative tolerance",
+    )
+    pw.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="compile-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
@@ -498,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--repropagate-p-one", type=float, default=0.3,
         help="input probability for the re-propagation pass",
+    )
+    ps.add_argument(
+        "--kernel", choices=["auto", "dense", "sparse"], default=None,
+        help="propagation message kernel (default: auto)",
     )
     ps.add_argument("--json", default=None, metavar="FILE",
                     help="also write the JSON report here")

@@ -72,6 +72,7 @@ class EstimatorCompiledModel(CompiledModel):
         self,
         inputs_list: "list[InputModel]",
         batch_size: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> "list[SwitchingEstimate]":
         """Vectorized sweep: K scenarios through one batched propagation.
 
@@ -80,6 +81,8 @@ class EstimatorCompiledModel(CompiledModel):
         pass; enumeration loops internally).  ``batch_size`` caps the
         scenarios per pass -- batched propagation memory is
         ``batch_size x`` the single-query engine footprint.
+        ``dtype="float32"`` runs propagating estimators' batch buffers
+        in float32 (ignored by estimators without a dtype knob).
         """
         models = list(inputs_list)
         if not models:
@@ -87,6 +90,14 @@ class EstimatorCompiledModel(CompiledModel):
         estimate_many = getattr(self.estimator, "estimate_many", None)
         if estimate_many is None:
             return super().query_many(models, batch_size=batch_size)
+        # Only forward a non-default dtype, and only to estimators that
+        # take one (EnumerationSegment.estimate_many does not).
+        kwargs = {}
+        if dtype is not None and dtype != "float64":
+            import inspect
+
+            if "dtype" in inspect.signature(estimate_many).parameters:
+                kwargs["dtype"] = dtype
         chunk = len(models) if not batch_size or batch_size < 1 else batch_size
         results: "list[SwitchingEstimate]" = []
         with get_tracer().span(
@@ -97,7 +108,9 @@ class EstimatorCompiledModel(CompiledModel):
             batch=chunk,
         ):
             for start in range(0, len(models), chunk):
-                results.extend(estimate_many(models[start : start + chunk]))
+                results.extend(
+                    estimate_many(models[start : start + chunk], **kwargs)
+                )
         return results
 
     @property
@@ -122,12 +135,14 @@ class JunctionTreeBackend(Backend):
         inputs: Optional[InputModel] = None,
         heuristic: str = "min_fill",
         max_clique_states: Optional[int] = 4 ** 10,
+        kernel: str = "auto",
     ) -> EstimatorCompiledModel:
         estimator = SwitchingActivityEstimator(
             circuit,
             input_model=inputs,
             heuristic=heuristic,
             max_clique_states=max_clique_states,
+            kernel=kernel,
         ).compile()
         return EstimatorCompiledModel(self.name, circuit, estimator)
 
@@ -149,6 +164,7 @@ class SegmentedBackend(Backend):
         enum_input_states: int = 4 ** 9,
         segment_backend: str = "auto",
         parallelism: int = 0,
+        kernel: str = "auto",
     ) -> EstimatorCompiledModel:
         estimator = SegmentedEstimator(
             circuit,
@@ -161,6 +177,7 @@ class SegmentedBackend(Backend):
             enum_input_states=enum_input_states,
             backend=segment_backend,
             parallelism=parallelism,
+            kernel=kernel,
         ).compile()
         return EstimatorCompiledModel(self.name, circuit, estimator)
 
@@ -211,6 +228,7 @@ class AutoBackend(Backend):
         boundary: str = "tree",
         heuristic: str = "min_fill",
         parallelism: int = 0,
+        kernel: str = "auto",
     ) -> EstimatorCompiledModel:
         if max_clique_states is None:
             max_clique_states = 4 ** 9 if circuit.num_gates > 2000 else 4 ** 10
@@ -221,6 +239,7 @@ class AutoBackend(Backend):
                     inputs,
                     heuristic=heuristic,
                     max_clique_states=max_clique_states,
+                    kernel=kernel,
                 )
             except CliqueBudgetExceeded:
                 pass
@@ -233,6 +252,7 @@ class AutoBackend(Backend):
             lookback=lookback,
             boundary=boundary,
             parallelism=parallelism,
+            kernel=kernel,
         )
 
 

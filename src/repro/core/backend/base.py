@@ -41,7 +41,11 @@ __all__ = ["ARTIFACT_SCHEMA", "ARTIFACT_SCHEMA_VERSION", "Backend", "CompiledMod
 #: unpickling garbage.
 #: v2: propagation message buffers moved from the schedule onto the
 #: engine (batched propagation), new engine counters.
-ARTIFACT_SCHEMA_VERSION = 2
+#: v3: schedules carry support-analysis state (per-clique feasibility
+#: masks, packed sparse-kernel index plans); engines carry packed belief
+#: buffers.  Supports serialize with the artifact, so cache hits skip
+#: the support analysis entirely.
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Schema tag written into every saved artifact envelope.
 ARTIFACT_SCHEMA = f"repro.compiled/v{ARTIFACT_SCHEMA_VERSION}"
@@ -115,6 +119,7 @@ class CompiledModel(ABC):
         self,
         inputs_list: "list[InputModel]",
         batch_size: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> "list[SwitchingEstimate]":
         """Estimate K input-statistics scenarios against one compile.
 
@@ -123,7 +128,9 @@ class CompiledModel(ABC):
         segmented) override this with a vectorized pass.  ``batch_size``
         chunks the sweep (propagation memory scales as
         ``batch_size x factor_bytes``); ``None`` propagates all K
-        scenarios in one batch.  Loop-based backends ignore it.
+        scenarios in one batch.  ``dtype="float32"`` asks for float32
+        batch buffers where the backend supports them (~1e-6 relative
+        tolerance).  Loop-based backends ignore both.
         """
         return [self.query(model) for model in inputs_list]
 

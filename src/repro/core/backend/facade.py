@@ -251,6 +251,7 @@ def estimate_many(
     cache: CacheSpec = None,
     batch_size: Optional[int] = None,
     validate: bool = True,
+    dtype: Optional[str] = None,
     **options: Any,
 ):
     """Sweep K input-statistics scenarios against one compile.
@@ -266,8 +267,11 @@ def estimate_many(
     as the first one (the structure is baked into the compile).
     ``batch_size`` chunks the sweep to bound propagation memory
     (``batch_size x`` the single-query engine footprint); ``None``
-    propagates all K scenarios in one batch.  There is no fallback
-    chain here -- a failing backend raises its typed error directly.
+    propagates all K scenarios in one batch.  ``dtype="float32"``
+    requests float32 batch buffers from propagating backends (half the
+    batch memory, ~1e-6 relative tolerance; other backends ignore it).
+    There is no fallback chain here -- a failing backend raises its
+    typed error directly.
     """
     models = list(inputs_list)
     if not models:
@@ -284,7 +288,7 @@ def estimate_many(
         validate=False,
         **options,
     )
-    results = compiled.query_many(models, batch_size=batch_size)
+    results = compiled.query_many(models, batch_size=batch_size, dtype=dtype)
     for result in results:
         result.cache_hit = compiled.cache_hit
         result.fallbacks = ()

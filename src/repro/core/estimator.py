@@ -109,6 +109,9 @@ class SwitchingActivityEstimator:
         Budget on the largest clique table.  Exceeding it raises
         :class:`CliqueBudgetExceeded` so callers can segment instead of
         thrashing memory.  ``None`` disables the check.
+    kernel:
+        Message-kernel mode, ``"auto"`` (default), ``"dense"`` or
+        ``"sparse"`` -- see :meth:`JunctionTree.from_network`.
     """
 
     def __init__(
@@ -117,11 +120,13 @@ class SwitchingActivityEstimator:
         input_model: Optional[InputModel] = None,
         heuristic: str = "min_fill",
         max_clique_states: Optional[int] = 4 ** 10,
+        kernel: str = "auto",
     ):
         self.circuit = circuit
         self.input_model = input_model if input_model is not None else IndependentInputs(0.5)
         self.heuristic = heuristic
         self.max_clique_states = max_clique_states
+        self.kernel = kernel
         self._bn = None
         self._jt: Optional[JunctionTree] = None
         self.compile_seconds = 0.0
@@ -142,6 +147,7 @@ class SwitchingActivityEstimator:
                 self._bn,
                 heuristic=self.heuristic,
                 max_clique_states=self.max_clique_states,
+                kernel=self.kernel,
             )
         self.compile_seconds = span.duration
         return self
@@ -196,7 +202,7 @@ class SwitchingActivityEstimator:
             method=Method.SINGLE_BN.value,
         )
 
-    def estimate_many(self, input_models) -> "list[SwitchingEstimate]":
+    def estimate_many(self, input_models, dtype: str = "float64") -> "list[SwitchingEstimate]":
         """Estimate K input-statistics scenarios in one batched pass.
 
         All scenarios propagate through the compiled junction tree
@@ -218,7 +224,7 @@ class SwitchingActivityEstimator:
         if not models:
             return []
         lines = list(self.circuit.lines)
-        batched, per_scenario = self.estimate_many_stacked(models, lines)
+        batched, per_scenario = self.estimate_many_stacked(models, lines, dtype=dtype)
         return [
             SwitchingEstimate(
                 distributions={line: batched[line][k] for line in lines},
@@ -229,7 +235,7 @@ class SwitchingActivityEstimator:
             for k in range(len(models))
         ]
 
-    def estimate_many_stacked(self, input_models, lines):
+    def estimate_many_stacked(self, input_models, lines, dtype: str = "float64"):
         """Batched sweep returning stacked ``{line: (K, 4)}`` marginals.
 
         The workhorse behind :meth:`estimate_many` and the segmented
@@ -237,7 +243,9 @@ class SwitchingActivityEstimator:
         internal lines) skips marginal extraction for everything else,
         and the stacked layout avoids building K per-scenario dicts
         that a segmented caller would immediately re-stack.  Returns
-        ``(stacks, per_scenario_seconds)``.
+        ``(stacks, per_scenario_seconds)``.  ``dtype="float32"`` runs
+        the batched engine in float32 (~1e-6 relative tolerance, half
+        the ``K x`` memory).
         """
         models = list(input_models)
         self.compile()
@@ -252,7 +260,7 @@ class SwitchingActivityEstimator:
                 cpd_sets = [
                     m.input_cpds_trusted(self.circuit.inputs) for m in models
                 ]
-                self._jt.update_cpds_batch(cpd_sets)
+                self._jt.update_cpds_batch(cpd_sets, dtype=dtype)
             with tracer.span("propagate.calibrate", scenarios=len(models)):
                 batched = self._jt.marginals_batch(list(lines))
         return batched, span.duration / len(models)
@@ -277,6 +285,11 @@ class SwitchingActivityEstimator:
     def factor_bytes(self) -> int:
         """Bytes of preallocated propagation buffers (memory accounting)."""
         return self._jt.engine_factor_bytes() if self._jt is not None else 0
+
+    def support_stats(self) -> Dict[str, object]:
+        """Support-analysis summary of the compiled tree (compiles)."""
+        self.compile()
+        return self._jt.support_stats()
 
     def line_distribution(self, line: str) -> np.ndarray:
         """Convenience: one line's 4-state marginal."""

@@ -319,9 +319,12 @@ class SegmentedEstimator:
         enum_input_states: int = 4 ** 9,
         backend: str = "auto",
         parallelism: int = 0,
+        kernel: str = "auto",
     ):
         if max_gates_per_segment < 1:
             raise ValueError("max_gates_per_segment must be >= 1")
+        if kernel not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown kernel mode {kernel!r}")
         if lookback < 0:
             raise ValueError("lookback must be >= 0")
         if boundary not in ("independent", "tree"):
@@ -342,6 +345,7 @@ class SegmentedEstimator:
         self.enum_input_states = enum_input_states
         self.backend = backend
         self.parallelism = parallelism
+        self.kernel = kernel
         self._segments: List[Tuple[Circuit, object, set]] = []
         #: per segment: child -> tree parent among that segment's inputs
         self._boundary_trees: List[Dict[str, str]] = []
@@ -716,6 +720,7 @@ class SegmentedEstimator:
             input_model=placeholder,
             heuristic=self.heuristic,
             max_clique_states=self.max_clique_states,
+            kernel=self.kernel,
         )
         try:
             estimator.compile()
@@ -832,7 +837,9 @@ class SegmentedEstimator:
             segments=len(self._segments),
         )
 
-    def estimate_many(self, input_models) -> List[SwitchingEstimate]:
+    def estimate_many(
+        self, input_models, dtype: str = "float64"
+    ) -> List[SwitchingEstimate]:
         """Estimate K input-statistics scenarios in one batched sweep.
 
         Each junction-tree segment propagates all K scenarios in a
@@ -893,6 +900,7 @@ class SegmentedEstimator:
                                     needed,
                                     enum_joints,
                                     parent_span=level_span,
+                                    dtype=dtype,
                                 ),
                                 members,
                             )
@@ -902,7 +910,7 @@ class SegmentedEstimator:
                 for index in range(len(self._segments)):
                     known.update(
                         self._propagate_segment_batch(
-                            index, known, models, needed, enum_joints
+                            index, known, models, needed, enum_joints, dtype=dtype
                         )
                     )
         per_scenario = span.duration / k
@@ -951,6 +959,7 @@ class SegmentedEstimator:
         needed: Dict[int, List[Tuple[str, str]]],
         enum_joints: Dict[Tuple[int, str, str], np.ndarray],
         parent_span=None,
+        dtype: str = "float64",
     ) -> Dict[str, np.ndarray]:
         """Batched counterpart of :meth:`_propagate_segment`.
 
@@ -1020,7 +1029,7 @@ class SegmentedEstimator:
             # exactly -- a different variable set would regroup the per-
             # clique joint reductions and perturb the last float bit.
             stacks, _ = estimator.estimate_many_stacked(
-                scenario_models, published
+                scenario_models, published, dtype=dtype
             )
             return {line: stacks[line] for line in published}
 
@@ -1174,6 +1183,30 @@ class SegmentedEstimator:
             for _, estimator, _ in self._segments
             if isinstance(estimator, SwitchingActivityEstimator)
         )
+
+    def support_stats(self) -> Dict[str, object]:
+        """Support-analysis summary aggregated over junction-tree segments.
+
+        Enumeration segments have no clique tables and contribute
+        nothing; density is feasible/total over the aggregate.
+        """
+        self.compile()
+        totals = {"cliques": 0, "sparse_cliques": 0, "total_states": 0,
+                  "feasible_states": 0}
+        for _, estimator, _ in self._segments:
+            if not isinstance(estimator, SwitchingActivityEstimator):
+                continue
+            stats = estimator.support_stats()
+            for key in totals:
+                totals[key] += stats[key]
+        total = totals["total_states"]
+        return {
+            "kernel": self.kernel,
+            **totals,
+            "support_density": (
+                totals["feasible_states"] / total if total else 1.0
+            ),
+        }
 
     def segment_stats(self) -> List[Dict[str, float]]:
         """Junction-tree statistics per segment (for reports/ablations)."""
