@@ -1,10 +1,14 @@
 """Compare two benchmark JSON artifacts and flag perf regressions.
 
-The CI non-regression gate: given an *old* (committed) and a *new*
-(freshly generated) benchmark report produced by
-``bench_propagation.py`` or ``bench_throughput.py``, compare the
-primary metric row by row and fail when the new run is worse than the
-old one by more than a configurable noise band.
+Thin wrapper over :func:`repro.perf.diff.compare_bench_documents` --
+the comparison engine moved into the perf subsystem (PR 7) so the
+``repro perf diff`` profile gate and this raw-report gate share one
+set of band/floor rules.  The historical CLI contract is unchanged:
+given an *old* (committed) and a *new* (freshly generated) benchmark
+report produced by ``bench_propagation.py`` or
+``bench_throughput.py``, compare the primary metric row by row and
+fail when the new run is worse than the old one by more than a
+configurable noise band.
 
 Primary metrics (chosen per the ``"benchmark"`` field):
 
@@ -30,31 +34,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-#: metric name, row-key fields, and direction per benchmark kind;
-#: ``higher_is_better`` flips the regression inequality.
-_BENCH_KINDS: Dict[str, Dict[str, object]] = {
-    "propagation": {
-        "metric": "repeat_estimate_min_seconds",
-        "key_fields": ("circuit",),
-        "higher_is_better": False,
-    },
-    "throughput": {
-        "metric": "batched_scenarios_per_sec",
-        "key_fields": ("circuit", "batch_size"),
-        "higher_is_better": True,
-    },
-}
+try:
+    from repro.perf.diff import PerfDiffError, compare_bench_documents
+except ImportError:  # direct execution without PYTHONPATH=src
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"),
+    )
+    from repro.perf.diff import PerfDiffError, compare_bench_documents
 
-
-class BenchDiffError(Exception):
-    """The two reports are not comparable (exit code 2)."""
-
-
-def _row_key(row: Dict, key_fields: Tuple[str, ...]) -> Tuple:
-    return tuple(row.get(field) for field in key_fields)
+#: Historical name for the not-comparable failure (exit code 2); kept
+#: as an alias so callers that catch it keep working.
+BenchDiffError = PerfDiffError
 
 
 def compare(
@@ -70,64 +65,9 @@ def compare(
     ``"skipped"`` for below-floor timing rows).  Raises
     :class:`BenchDiffError` when the reports cannot be compared.
     """
-    old_kind = old_doc.get("benchmark")
-    new_kind = new_doc.get("benchmark")
-    if old_kind != new_kind:
-        raise BenchDiffError(
-            f"benchmark kinds differ: old is {old_kind!r}, new is {new_kind!r}"
-        )
-    spec = _BENCH_KINDS.get(old_kind)
-    if spec is None:
-        raise BenchDiffError(f"unknown benchmark kind {old_kind!r}")
-    metric = spec["metric"]
-    key_fields = spec["key_fields"]
-    higher_is_better = spec["higher_is_better"]
-
-    new_rows = {
-        _row_key(row, key_fields): row for row in new_doc.get("results", [])
-    }
-    records: List[Dict[str, object]] = []
-    missing: List[Tuple] = []
-    for row in old_doc.get("results", []):
-        key = _row_key(row, key_fields)
-        if metric not in row:
-            continue  # old row predates the metric; nothing to compare
-        other = new_rows.get(key)
-        if other is None or metric not in other:
-            missing.append(key)
-            continue
-        old_val = float(row[metric])
-        new_val = float(other[metric])
-        record = {
-            "key": key,
-            "metric": metric,
-            "old": old_val,
-            "new": new_val,
-            "ratio": new_val / old_val if old_val else float("inf"),
-        }
-        if (
-            not higher_is_better
-            and old_val < floor_seconds
-            and new_val < floor_seconds
-        ):
-            record["status"] = "skipped"
-        elif higher_is_better:
-            record["status"] = (
-                "regression" if new_val < old_val * (1.0 - noise_band) else "ok"
-            )
-        else:
-            record["status"] = (
-                "regression" if new_val > old_val * (1.0 + noise_band) else "ok"
-            )
-        records.append(record)
-    if missing:
-        raise BenchDiffError(
-            f"rows present in the old report are missing from the new one: "
-            f"{missing}"
-        )
-    if not records:
-        raise BenchDiffError("no comparable rows between the two reports")
-    return records
+    return compare_bench_documents(
+        old_doc, new_doc, noise_band=noise_band, floor_seconds=floor_seconds
+    )
 
 
 def main(argv=None) -> int:

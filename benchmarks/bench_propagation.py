@@ -39,7 +39,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_propagation.py \
         [--circuits c17,alu,comp,voter,pcler8,c432s] [--repeats 5] \
-        [--kernel auto|dense|sparse] [--output BENCH_propagation.json]
+        [--kernel auto|dense|sparse] [--output BENCH_propagation.json] \
+        [--store .repro-perf]
+
+``--store DIR`` additionally records the run into the perf profile
+store (see ``repro perf``), so the datapoint joins the version
+trajectory without a separate ``repro perf record`` pass.
 
 Compilation goes through the backend facade: the ``"junction-tree"``
 backend first, falling back to ``"segmented"`` on
@@ -58,15 +63,32 @@ import sys
 import time
 from typing import Dict, List
 
+try:  # package import (pytest benchmarks/, repo-root scripts)
+    from benchmarks.common import (
+        DEFAULT_CIRCUITS,
+        SWEEP,
+        add_store_argument,
+        compile_estimator,
+        engine_counters,
+        parse_csv_names,
+        repeat_cycles,
+        store_report,
+    )
+except ImportError:  # direct execution: python benchmarks/bench_propagation.py
+    from common import (
+        DEFAULT_CIRCUITS,
+        SWEEP,
+        add_store_argument,
+        compile_estimator,
+        engine_counters,
+        parse_csv_names,
+        repeat_cycles,
+        store_report,
+    )
+
 from repro.circuits import suite
-from repro.core.backend import CliqueBudgetExceeded, compile_model
 from repro.core.inputs import IndependentInputs
 from repro.core.segmentation import SegmentedEstimator
-
-DEFAULT_CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8", "c432s"]
-
-#: Input probabilities cycled through the repeat-propagation phase.
-SWEEP = [0.2, 0.35, 0.5, 0.65, 0.8]
 
 #: Bump when the emitted JSON shape changes (v2: added ``schema_version``
 #: and per-row ``breakdown`` with engine work counters; v3:
@@ -77,13 +99,6 @@ SWEEP = [0.2, 0.35, 0.5, 0.65, 0.8]
 #: dense-kernel comparison: ``dense_repeat_estimate_min_seconds``,
 #: ``sparse_speedup``, ``max_abs_diff_vs_dense``).
 BENCH_SCHEMA_VERSION = 4
-
-
-def _counters(estimator) -> Dict[str, int]:
-    """Cumulative engine counters, tolerant of pre-engine checkouts."""
-    if hasattr(estimator, "propagation_counters"):
-        return estimator.propagation_counters().as_dict()
-    return {}
 
 
 def _extract_marginals(estimator, lines: List[str]) -> float:
@@ -101,35 +116,6 @@ def _extract_marginals(estimator, lines: List[str]) -> float:
         for line in lines:
             jt.marginal(line)
     return time.perf_counter() - start
-
-
-def _compile_estimator(circuit, parallelism: int, kernel: str):
-    """Junction tree first, segmented past the clique budget (CLI rule)."""
-    try:
-        estimator = compile_model(
-            circuit,
-            backend="junction-tree",
-            max_clique_states=4 ** 10,
-            kernel=kernel,
-        ).estimator
-        return estimator, "single-bn"
-    except CliqueBudgetExceeded:
-        estimator = compile_model(
-            circuit, backend="segmented", parallelism=parallelism, kernel=kernel
-        ).estimator
-        return estimator, "segmented"
-
-
-def _repeat_cycles(estimator, repeats: int) -> List[float]:
-    """Seconds per ``update_inputs`` + ``estimate`` cycle over the sweep."""
-    cycle_seconds = []
-    for i in range(repeats):
-        model = IndependentInputs(SWEEP[i % len(SWEEP)])
-        start = time.perf_counter()
-        estimator.update_inputs(model)
-        estimator.estimate()
-        cycle_seconds.append(time.perf_counter() - start)
-    return cycle_seconds
 
 
 def _max_abs_diff(estimator_a, estimator_b) -> float:
@@ -160,7 +146,7 @@ def bench_circuit(
     }
 
     start = time.perf_counter()
-    estimator, method = _compile_estimator(circuit, parallelism, kernel)
+    estimator, method = compile_estimator(circuit, parallelism, kernel)
     row["method"] = method
     if method == "segmented":
         row["segments"] = estimator.num_segments
@@ -175,9 +161,9 @@ def bench_circuit(
     start = time.perf_counter()
     first = estimator.estimate()
     row["first_estimate_seconds"] = time.perf_counter() - start
-    after_first = _counters(estimator)
+    after_first = engine_counters(estimator)
 
-    cycle_seconds = _repeat_cycles(estimator, repeats)
+    cycle_seconds = repeat_cycles(estimator, repeats)
     row["repeat_estimate_seconds"] = statistics.mean(cycle_seconds)
     row["repeat_estimate_min_seconds"] = min(cycle_seconds)
 
@@ -186,9 +172,9 @@ def bench_circuit(
     # nothing (worst per-line delta, expected at float association-
     # order level).
     if kernel != "dense":
-        dense, _ = _compile_estimator(circuit, parallelism, "dense")
+        dense, _ = compile_estimator(circuit, parallelism, "dense")
         dense.estimate()  # first calibration outside the timed region
-        dense_cycles = _repeat_cycles(dense, repeats)
+        dense_cycles = repeat_cycles(dense, repeats)
         row["dense_repeat_estimate_min_seconds"] = min(dense_cycles)
         row["sparse_speedup"] = (
             row["dense_repeat_estimate_min_seconds"]
@@ -208,7 +194,7 @@ def bench_circuit(
         )
     row["mean_activity"] = first.mean_activity()
 
-    totals = _counters(estimator)
+    totals = engine_counters(estimator)
     if totals:
         # Repeat-phase deltas isolate the dirty-clique fast path: the
         # skipped count is the work the engine *avoided* re-doing.
@@ -253,15 +239,13 @@ def main(argv=None) -> int:
         help="message-kernel mode for the primary run",
     )
     parser.add_argument("--output", default="BENCH_propagation.json")
+    add_store_argument(parser)
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
     rows = []
-    for name in args.circuits.split(","):
-        name = name.strip()
-        if not name:
-            continue
+    for name in parse_csv_names(args.circuits):
         row = bench_circuit(name, args.repeats, args.parallelism, args.kernel)
         rows.append(row)
         print(
@@ -287,6 +271,8 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.store:
+        store_report(args.store, "propagation", report)
     return 0
 
 

@@ -26,10 +26,13 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_throughput.py \
         [--circuits c17,alu,comp,voter,pcler8,c432s] \
         [--batch-sizes 1,8,64,256] [--repeats 3] [--quick] \
-        [--output BENCH_throughput.json]
+        [--output BENCH_throughput.json] [--store .repro-perf]
 
 ``--quick`` shrinks the run to the CI smoke configuration (c17 only,
-K in {1, 64}, 2 repeats).
+K in {1, 64}, 2 repeats).  ``--store DIR`` additionally records the
+run into the perf profile store (see ``repro perf``), so the datapoint
+joins the version trajectory without a separate ``repro perf record``
+pass.
 
 Since schema version 2 compiles are kernel-aware (``--kernel``, default
 ``auto`` -- the sparse message-kernel path) and every row records the
@@ -43,51 +46,39 @@ import argparse
 import json
 import platform
 import sys
-import time
 from typing import Dict, List
 
 import numpy as np
 
-from repro.circuits import suite
-from repro.core.backend import CliqueBudgetExceeded, compile_model
-from repro.core.inputs import IndependentInputs
+try:  # package import (pytest benchmarks/, repo-root scripts)
+    from benchmarks.common import (
+        DEFAULT_CIRCUITS,
+        add_store_argument,
+        compile_or_fallback,
+        parse_csv_names,
+        salted_scenarios,
+        store_report,
+        timed,
+    )
+except ImportError:  # direct execution: python benchmarks/bench_throughput.py
+    from common import (
+        DEFAULT_CIRCUITS,
+        add_store_argument,
+        compile_or_fallback,
+        parse_csv_names,
+        salted_scenarios,
+        store_report,
+        timed,
+    )
 
-DEFAULT_CIRCUITS = ["c17", "alu", "comp", "voter", "pcler8", "c432s"]
+from repro.circuits import suite
+
 DEFAULT_BATCH_SIZES = [1, 8, 64, 256]
 
 #: Bump when the emitted JSON shape changes (v2: kernel-aware
 #: compiles; rows carry ``kernel``, ``support_density`` and
 #: ``sparse_cliques`` from the compile-time support analysis).
 BENCH_SCHEMA_VERSION = 2
-
-#: Golden-ratio increment: scenario probabilities fill (0.05, 0.95)
-#: quasi-uniformly, and the per-repeat salt shifts the whole set so no
-#: two repeats install identical potentials.
-_PHI = 0.6180339887498949
-
-
-def _scenarios(k: int, salt: int) -> List[IndependentInputs]:
-    return [
-        IndependentInputs(0.05 + 0.9 * ((i * _PHI + salt * 0.2718 + 0.041) % 1.0))
-        for i in range(k)
-    ]
-
-
-def _compile(circuit, parallelism: int, kernel: str = "auto"):
-    """Junction tree first, segmented past the clique budget (CLI rule)."""
-    try:
-        model = compile_model(
-            circuit,
-            backend="junction-tree",
-            max_clique_states=4 ** 10,
-            kernel=kernel,
-        )
-        return model, "single-bn"
-    except CliqueBudgetExceeded:
-        model = compile_model(
-            circuit, backend="segmented", parallelism=parallelism, kernel=kernel
-        )
-        return model, "segmented"
 
 
 def _loop_sweep(estimator, models) -> None:
@@ -106,14 +97,14 @@ def _bitwise_check(
     installed potentials -- so the comparison is exact equality, and
     any difference is a real kernel divergence, not float noise.
     """
-    models = _scenarios(k, salt=0)
-    loop_model, _ = _compile(circuit, parallelism, kernel)
+    models = salted_scenarios(k, salt=0)
+    loop_model, _ = compile_or_fallback(circuit, parallelism, kernel)
     oracle = []
     for model in models:
         loop_model.estimator.reset_propagation()
         loop_model.estimator.update_inputs(model)
         oracle.append(loop_model.estimator.estimate())
-    batch_model, _ = _compile(circuit, parallelism, kernel)
+    batch_model, _ = compile_or_fallback(circuit, parallelism, kernel)
     batched = batch_model.query_many(models)
     worst = 0.0
     equal = True
@@ -134,7 +125,7 @@ def bench_circuit(
     kernel: str = "auto",
 ) -> List[Dict[str, object]]:
     circuit = suite.load_circuit(name)
-    model, method = _compile(circuit, parallelism, kernel)
+    model, method = compile_or_fallback(circuit, parallelism, kernel)
     estimator = model.estimator
     stats = (
         estimator.support_stats()
@@ -145,15 +136,15 @@ def bench_circuit(
     for k in batch_sizes:
         # Warm both paths once (outside timing) so one-time costs --
         # the batch engine allocation in particular -- are excluded.
-        _loop_sweep(estimator, _scenarios(k, salt=repeats + 1))
-        model.query_many(_scenarios(k, salt=repeats + 2))
+        _loop_sweep(estimator, salted_scenarios(k, salt=repeats + 1))
+        model.query_many(salted_scenarios(k, salt=repeats + 2))
 
         looped = min(
-            _timed(_loop_sweep, estimator, _scenarios(k, salt=r))
+            timed(_loop_sweep, estimator, salted_scenarios(k, salt=r))
             for r in range(repeats)
         )
         batched = min(
-            _timed(model.query_many, _scenarios(k, salt=r))
+            timed(model.query_many, salted_scenarios(k, salt=r))
             for r in range(repeats)
         )
         row: Dict[str, object] = {
@@ -182,12 +173,6 @@ def bench_circuit(
     return rows
 
 
-def _timed(fn, *args) -> float:
-    start = time.perf_counter()
-    fn(*args)
-    return time.perf_counter() - start
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -212,15 +197,16 @@ def main(argv=None) -> int:
         help="CI smoke configuration: c17 only, K in {1, 64}, 2 repeats",
     )
     parser.add_argument("--output", default="BENCH_throughput.json")
+    add_store_argument(parser)
     args = parser.parse_args(argv)
     if args.quick:
         circuits = ["c17"]
         batch_sizes = [1, 64]
         repeats = 2
     else:
-        circuits = [c.strip() for c in args.circuits.split(",") if c.strip()]
+        circuits = parse_csv_names(args.circuits)
         batch_sizes = [
-            int(k) for k in args.batch_sizes.split(",") if k.strip()
+            int(k) for k in parse_csv_names(args.batch_sizes)
         ]
         repeats = args.repeats
     if repeats < 1:
@@ -248,6 +234,8 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.store:
+        store_report(args.store, "throughput", report)
     return 0
 
 

@@ -1,0 +1,67 @@
+"""Helpers shared by the benchmark runners.
+
+``bench_propagation.py`` and ``bench_throughput.py`` used to carry
+private copies of the compile rule, the scenario salting, and the
+timing loop; those now live in :mod:`repro.perf.collect` (the perf
+subsystem records profiles with the *same* methodology, so the two can
+never drift apart) and are re-exported here for the runners.
+
+This module also provides the runners' ``--store`` mode: after
+emitting the usual ``BENCH_*.json`` report, the report is ingested
+into the append-only perf profile store so the datapoint lands in the
+version trajectory without a separate ``repro perf record`` run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.perf.collect import (  # noqa: F401  (re-exported for runners)
+    DEFAULT_CIRCUITS,
+    PHI,
+    SWEEP,
+    compile_or_fallback,
+    repeat_cycles,
+    salted_scenarios,
+    timed,
+)
+
+
+def compile_estimator(circuit, parallelism: int, kernel: str):
+    """Estimator-level view of :func:`compile_or_fallback`."""
+    model, method = compile_or_fallback(circuit, parallelism, kernel)
+    return model.estimator, method
+
+
+def engine_counters(estimator) -> Dict[str, int]:
+    """Cumulative engine counters, tolerant of pre-engine checkouts."""
+    if hasattr(estimator, "propagation_counters"):
+        return estimator.propagation_counters().as_dict()
+    return {}
+
+
+def store_report(store_dir: str, kind: str, report: Dict, note: str = "") -> None:
+    """Ingest a just-emitted benchmark report into the profile store."""
+    from repro.perf import PerfStore, ingest_bench_documents
+
+    documents = {kind: report}
+    profile = ingest_bench_documents(note=note, **documents)
+    path = PerfStore(store_dir).append(profile)
+    print(
+        f"recorded perf profile for {profile['git']['short']} "
+        f"({len(profile['measurements'])} circuit(s)) into {path}"
+    )
+
+
+def add_store_argument(parser) -> None:
+    """The shared ``--store`` flag (both runners emit into the store)."""
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="also record this run as a perf profile in the given "
+             "profile store directory (see `repro perf`)",
+    )
+
+
+def parse_csv_names(spec: str) -> List[str]:
+    """``"a, b,c"`` -> ``["a", "b", "c"]`` (empty entries dropped)."""
+    return [name.strip() for name in spec.split(",") if name.strip()]

@@ -11,6 +11,9 @@ Usage::
     python -m repro.cli stats --circuit c432s [--json out.json]
     python -m repro.cli cache ls|clear [--dir DIR]
     python -m repro.cli fuzz [--seeds N] [--max-gates N] [--out DIR]
+    python -m repro.cli perf record [--quick] [--store DIR] [--baseline FILE]
+    python -m repro.cli perf log [--metric M] [--circuit C] [--all-machines]
+    python -m repro.cli perf diff OLD NEW [--noise-band B] [--force]
 
 ``estimate`` goes through the backend facade and the on-disk compile
 cache (``--no-cache`` disables it, ``--cache-dir`` relocates it); a
@@ -28,6 +31,12 @@ observability layer enabled and prints the span tree and metrics
 FILE`` on the experiment subcommands writes the same report for a
 table run.  ``fuzz`` runs the cross-backend differential harness and
 exits non-zero if any backend disagrees with the enumeration oracle.
+``perf`` tracks performance over time: ``record`` measures (or ingests
+``BENCH_*.json`` reports) into the append-only profile store,
+``log`` renders each metric's trajectory across recorded versions, and
+``diff`` statistically compares two profiles -- exit 0 no change, 1
+perf regression beyond the noise band, 2 accuracy drift or profiles
+that are not comparable at all.
 
 Every anticipated failure (unknown circuit, malformed netlist, unknown
 backend, infeasible input statistics, ...) exits with status 1 and a
@@ -401,6 +410,138 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _load_bench_json(path: str, kind: str) -> dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read {kind} report {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed JSON in {path}: {exc}") from exc
+
+
+def _cmd_perf_record(args) -> None:
+    """Record one perf profile: measure live, or ingest bench reports."""
+    from repro.perf import (
+        PerfStore,
+        collect_profile,
+        ingest_bench_documents,
+        load_profiles_file,
+        write_history,
+    )
+
+    if args.from_propagation or args.from_throughput:
+        profile = ingest_bench_documents(
+            propagation=(
+                _load_bench_json(args.from_propagation, "propagation")
+                if args.from_propagation
+                else None
+            ),
+            throughput=(
+                _load_bench_json(args.from_throughput, "throughput")
+                if args.from_throughput
+                else None
+            ),
+            note=args.note,
+        )
+    else:
+        circuits = (
+            [c.strip() for c in args.circuits.split(",") if c.strip()]
+            if args.circuits
+            else None
+        )
+        profile = collect_profile(
+            circuits=circuits,
+            repeats=args.repeats,
+            batch_sizes=[
+                int(k) for k in args.batch_sizes.split(",") if k.strip()
+            ],
+            parallelism=args.parallelism,
+            kernel=args.kernel,
+            note=args.note,
+            quick=args.quick,
+            progress=lambda name, block: print(
+                f"{name:>10s}  repeat(min) "
+                f"{block['repeat_estimate_min_seconds'] * 1e3:8.3f}ms"
+                + (
+                    f"  max_abs_error {block['max_abs_error']:.2e}"
+                    if "max_abs_error" in block
+                    else ""
+                )
+            ),
+        )
+    store = PerfStore(args.store)
+    path = store.append(profile)
+    git = profile["git"]
+    print(
+        f"recorded profile {git['short']}{'*' if git['dirty'] else ''} "
+        f"({len(profile['measurements'])} circuit(s), machine "
+        f"{profile['fingerprint']['digest']}) into {path}"
+    )
+    if args.baseline:
+        baseline = Path(args.baseline)
+        history = load_profiles_file(baseline) if baseline.is_file() else []
+        history.append(profile)
+        write_history(baseline, history)
+        print(f"appended to baseline {baseline} ({len(history)} profile(s))")
+
+
+def _cmd_perf_log(args) -> None:
+    """Render each metric's trajectory across recorded versions."""
+    from repro.perf import PerfStore, machine_fingerprint, render_log
+
+    store = PerfStore(args.store)
+    digest = None if args.all_machines else machine_fingerprint()["digest"]
+    profiles = store.profiles(fingerprint_digest=digest)
+    if not profiles and digest is not None and store.profiles():
+        print(
+            f"note: the store has profiles, but none from this machine "
+            f"(digest {digest}); pass --all-machines to see them"
+        )
+    print(render_log(profiles, metric=args.metric, circuit=args.circuit), end="")
+
+
+def _cmd_perf_diff(args) -> int:
+    """Statistically compare two profiles; exit 0 ok / 1 perf / 2 accuracy."""
+    from repro.errors import PerfDiffError, PerfProfileError
+    from repro.perf import (
+        PerfStore,
+        compare_profiles,
+        exit_code,
+        render_diff,
+        version_label,
+    )
+
+    store = PerfStore(args.store)
+    try:
+        old = store.resolve(args.old)
+        new = store.resolve(args.new)
+        records = compare_profiles(
+            old,
+            new,
+            noise_band=args.noise_band,
+            floor_seconds=args.floor_seconds,
+            accuracy_atol=args.accuracy_atol,
+            force=args.force,
+        )
+    except (PerfDiffError, PerfProfileError) as exc:
+        # Not-comparable is contractually exit 2 (CI distinguishes it
+        # from the plain perf regression's exit 1).
+        print(f"repro perf diff: {exc}", file=sys.stderr)
+        return 2
+    print(f"old: {version_label(old)}  {old.get('recorded_at', '?')}")
+    print(f"new: {version_label(new)}  {new.get('recorded_at', '?')}")
+    print(render_diff(records), end="")
+    rc = exit_code(records)
+    counts = {}
+    for record in records:
+        counts[record["status"]] = counts.get(record["status"], 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    verdict = {0: "ok", 1: "PERF REGRESSION", 2: "ACCURACY DRIFT"}[rc]
+    print(f"perf diff: {summary} -> {verdict}")
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Bayesian-network switching activity experiments"
@@ -563,6 +704,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for shrunk reproducers (default: fuzz-failures)",
     )
     pz.set_defaults(func=_cmd_fuzz)
+
+    pp = sub.add_parser(
+        "perf", help="record, inspect and diff performance profiles"
+    )
+    perf_sub = pp.add_subparsers(dest="perf_command", required=True)
+
+    def _add_store(p):
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="profile store directory "
+                 "(default: $REPRO_PERF_DIR or .repro-perf)",
+        )
+
+    pr = perf_sub.add_parser(
+        "record", help="measure (or ingest bench reports) into the store"
+    )
+    _add_store(pr)
+    pr.add_argument(
+        "--circuits", default=None, metavar="A,B,...",
+        help="comma-separated circuit names (default: the benchmark suite)",
+    )
+    pr.add_argument("--repeats", type=int, default=3)
+    pr.add_argument(
+        "--batch-sizes", default="64", metavar="K,...",
+        help="comma-separated scenario-sweep batch sizes (default: 64)",
+    )
+    pr.add_argument(
+        "--parallelism", type=int, default=0,
+        help="worker threads for segmented circuits (0 = serial)",
+    )
+    pr.add_argument(
+        "--kernel", choices=["auto", "dense", "sparse"], default="auto",
+        help="propagation message kernel for every compile",
+    )
+    pr.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration: c17 only, 2 repeats, K=64",
+    )
+    pr.add_argument(
+        "--from-propagation", default=None, metavar="FILE",
+        help="ingest a BENCH_propagation.json instead of measuring",
+    )
+    pr.add_argument(
+        "--from-throughput", default=None, metavar="FILE",
+        help="ingest a BENCH_throughput.json instead of measuring",
+    )
+    pr.add_argument(
+        "--note", default="", metavar="TEXT",
+        help="free-form provenance note stored with the profile",
+    )
+    pr.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="also append the profile to this committed history document "
+             "(PERF_HISTORY.json)",
+    )
+    pr.set_defaults(func=_cmd_perf_record)
+
+    pl = perf_sub.add_parser(
+        "log", help="per-metric trajectory across recorded versions"
+    )
+    _add_store(pl)
+    pl.add_argument(
+        "--metric", default=None, metavar="NAME",
+        help="show only this metric (e.g. repeat_estimate_min_seconds)",
+    )
+    pl.add_argument(
+        "--circuit", default=None, metavar="NAME",
+        help="show only this circuit",
+    )
+    pl.add_argument(
+        "--all-machines", action="store_true",
+        help="include profiles recorded on other machines "
+             "(default: this machine's fingerprint only)",
+    )
+    pl.set_defaults(func=_cmd_perf_log)
+
+    pd = perf_sub.add_parser(
+        "diff", help="compare two profiles (exit 1 perf / 2 accuracy)"
+    )
+    _add_store(pd)
+    pd.add_argument(
+        "old",
+        help="baseline profile: a file (profile JSON, PERF_HISTORY.json, "
+             ".jsonl log), 'latest', or a git SHA prefix",
+    )
+    pd.add_argument("new", help="candidate profile (same reference forms)")
+    pd.add_argument(
+        "--noise-band", type=float, default=0.25,
+        help="fractional tolerance before a timing delta counts as a "
+             "regression; auto-widened by the runs' own dispersion",
+    )
+    pd.add_argument(
+        "--floor-seconds", type=float, default=0.001,
+        help="timing rows where both sides are below this are skipped",
+    )
+    pd.add_argument(
+        "--accuracy-atol", type=float, default=1e-6,
+        help="absolute tolerance on accuracy metrics (exit 2 beyond it)",
+    )
+    pd.add_argument(
+        "--force", action="store_true",
+        help="compare across different machine fingerprints anyway",
+    )
+    pd.set_defaults(func=_cmd_perf_diff)
 
     return parser
 

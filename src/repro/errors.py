@@ -45,6 +45,8 @@ __all__ = [
     "DuplicateDefinitionError",
     "FallbackExhausted",
     "InputModelError",
+    "PerfDiffError",
+    "PerfProfileError",
     "PropagationError",
     "ReproError",
     "SegmentTooWide",
@@ -164,3 +166,19 @@ class ZeroBeliefError(PropagationError, ZeroDivisionError):
 class ArtifactSchemaError(ReproError, RuntimeError):
     """A serialized :class:`~repro.core.backend.base.CompiledModel` has
     a missing or incompatible schema tag and cannot be loaded."""
+
+
+# ----------------------------------------------------------------------
+# Performance history (`repro.perf`)
+# ----------------------------------------------------------------------
+
+
+class PerfProfileError(ReproError, ValueError):
+    """A perf profile is malformed, unresolvable, or has an unsupported
+    schema tag (store refs that match nothing land here too)."""
+
+
+class PerfDiffError(ReproError, RuntimeError):
+    """Two perf profiles (or benchmark reports) cannot be compared --
+    different benchmark kinds, no common rows, or machine fingerprints
+    that differ without ``force``.  The CLI maps this to exit code 2."""

@@ -65,6 +65,7 @@ __all__ = [
     "enable",
     "disable",
     "reset",
+    "snapshot",
     "enable_tracing",
     "disable_tracing",
     "enable_metrics",
@@ -88,3 +89,12 @@ def reset() -> None:
     """Clear recorded spans and instruments without changing state."""
     get_tracer().reset()
     get_metrics().reset()
+
+
+def snapshot():
+    """Point-in-time export of the global metrics registry.
+
+    The hook :mod:`repro.perf` uses to embed counters/gauges/histogram
+    summaries (including p50/p90/p99) inside a recorded perf profile.
+    """
+    return get_metrics().snapshot()

@@ -21,8 +21,10 @@ Same invariants as the tracer (DESIGN.md section 8):
 
 from __future__ import annotations
 
+import math
+import random
 import threading
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 __all__ = [
     "Counter",
@@ -97,13 +99,23 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observations (count/sum/min/max/mean).
+    """Streaming summary of observations with percentile estimates.
 
-    Running aggregates only -- no buckets and no sample retention, so
-    observing is O(1) and the export is a small fixed dict.
+    Running aggregates (count/sum/min/max/mean) plus a bounded
+    reservoir of :data:`Histogram.RESERVOIR_SIZE` samples for
+    p50/p90/p99 -- observing stays O(1) and memory stays fixed no
+    matter how many values stream through.  Until the reservoir fills,
+    percentiles are exact; past that they are the standard
+    uniformly-sampled estimate.  The reservoir RNG is seeded per
+    instance, so a deterministic observation sequence yields a
+    deterministic export (perf profiles embedding these summaries must
+    be reproducible).
     """
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_rng", "_lock")
+
+    #: retained-sample cap; percentiles are exact below it.
+    RESERVOIR_SIZE = 1024
 
     def __init__(self, name: str):
         self.name = name
@@ -111,6 +123,8 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._samples: List[float] = []
+        self._rng = random.Random(0x9E3779B9)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -121,22 +135,46 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if len(self._samples) < self.RESERVOIR_SIZE:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.RESERVOIR_SIZE:
+                    self._samples[slot] = value
 
     @property
     def count(self) -> int:
         return self._count
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the
+        retained samples; 0.0 when nothing was observed."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = math.ceil(q / 100.0 * len(samples))
+        return samples[min(len(samples) - 1, max(rank - 1, 0))]
+
     def to_value(self) -> Dict[str, float]:
         with self._lock:
             if self._count == 0:
-                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-            return {
+                return {
+                    "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                }
+            samples = sorted(self._samples)
+            summary = {
                 "count": self._count,
                 "sum": self._sum,
                 "min": self._min,
                 "max": self._max,
                 "mean": self._sum / self._count,
             }
+        for key, q in (("p50", 50.0), ("p90", 90.0), ("p99", 99.0)):
+            rank = math.ceil(q / 100.0 * len(samples))
+            summary[key] = samples[min(len(samples) - 1, max(rank - 1, 0))]
+        return summary
 
 
 class _NullInstrument:
@@ -162,6 +200,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
     def to_value(self) -> int:
         return 0

@@ -6,11 +6,12 @@ diffs it.  Its shape is versioned (:data:`SCHEMA`, :data:`SCHEMA_VERSION`)
 and guarded by :func:`validate_report`, so the format cannot drift
 silently -- bump the version when the shape changes.
 
-Report shape (version 1)::
+Report shape (version 2; v2 added the p50/p90/p99 percentile fields to
+histogram summaries)::
 
     {
-      "schema": "repro.obs/v1",
-      "schema_version": 1,
+      "schema": "repro.obs/v2",
+      "schema_version": 2,
       "meta": {...},                      # free-form, str keys
       "spans": [                          # root spans, recursive
         {"name": str, "start": float, "duration": float,
@@ -20,7 +21,8 @@ Report shape (version 1)::
         "counters": {name: int},
         "gauges": {name: float},
         "histograms": {name: {"count": int, "sum": float, "min": float,
-                              "max": float, "mean": float}},
+                              "max": float, "mean": float, "p50": float,
+                              "p90": float, "p99": float}},
       },
     }
 """
@@ -41,11 +43,11 @@ __all__ = [
     "render_report",
 ]
 
-SCHEMA = "repro.obs/v1"
-SCHEMA_VERSION = 1
+SCHEMA = "repro.obs/v2"
+SCHEMA_VERSION = 2
 
 #: histogram export keys, in rendering order
-_HISTOGRAM_KEYS = ("count", "sum", "min", "max", "mean")
+_HISTOGRAM_KEYS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
 
 
 def build_report(

@@ -1,0 +1,80 @@
+"""Performance history: versioned profiles, trajectory, regression gate.
+
+The observability layer (:mod:`repro.obs`) answers *where did this run
+spend its time*; this package answers *how has that changed across
+versions*.  Profiles -- git SHA + machine fingerprint + per-circuit
+measurements + the obs metrics snapshot -- append to a store
+(``.repro-perf/profiles.jsonl``), render as a trajectory
+(``repro perf log``), and gate CI through a statistical diff
+(``repro perf diff``, exit 1 on perf regression / 2 on accuracy
+drift).
+
+- :mod:`repro.perf.fingerprint` -- the machine identity timings are
+  only comparable within,
+- :mod:`repro.perf.store`       -- the ``repro.perf/v1`` schema and the
+  append-only store + committed ``PERF_HISTORY.json`` baseline,
+- :mod:`repro.perf.collect`     -- run the measurement suite or ingest
+  ``BENCH_*.json`` reports,
+- :mod:`repro.perf.diff`        -- noise-band/floor/accuracy gate (also
+  the engine behind ``benchmarks/bench_diff.py``),
+- :mod:`repro.perf.render`      -- trajectory tables and diff lines.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PerfDiffError, PerfProfileError
+from repro.perf.collect import (
+    DEFAULT_CIRCUITS,
+    collect_profile,
+    git_revision,
+    ingest_bench_documents,
+    measure_circuit,
+)
+from repro.perf.diff import (
+    compare_bench_documents,
+    compare_profiles,
+    exit_code,
+)
+from repro.perf.fingerprint import (
+    fingerprint_digest,
+    fingerprints_compatible,
+    machine_fingerprint,
+)
+from repro.perf.render import render_diff, render_log, version_label
+from repro.perf.store import (
+    BASELINE_FILE,
+    DEFAULT_STORE_DIR,
+    PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
+    PerfStore,
+    load_profiles_file,
+    validate_profile,
+    write_history,
+)
+
+__all__ = [
+    "BASELINE_FILE",
+    "DEFAULT_CIRCUITS",
+    "DEFAULT_STORE_DIR",
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
+    "PerfDiffError",
+    "PerfProfileError",
+    "PerfStore",
+    "collect_profile",
+    "compare_bench_documents",
+    "compare_profiles",
+    "exit_code",
+    "fingerprint_digest",
+    "fingerprints_compatible",
+    "git_revision",
+    "ingest_bench_documents",
+    "load_profiles_file",
+    "machine_fingerprint",
+    "measure_circuit",
+    "render_diff",
+    "render_log",
+    "validate_profile",
+    "version_label",
+    "write_history",
+]

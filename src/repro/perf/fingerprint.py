@@ -1,0 +1,136 @@
+"""Machine fingerprint: the hardware/software context of a perf profile.
+
+A timing measured on one machine says nothing about another -- a
+different CPU, a different BLAS, or a different numpy all move the
+numbers more than most real regressions.  Every recorded profile
+therefore carries a fingerprint of the environment it ran on, and the
+diff engine refuses to compare profiles whose fingerprints differ
+unless the caller explicitly forces it (``repro perf diff --force``).
+
+The fingerprint is a flat dict of human-readable fields plus a
+``digest`` over the fields that actually shape performance:
+
+- ``cpu_model``  -- CPU model string (``/proc/cpuinfo`` on Linux),
+- ``cpu_count``  -- logical CPUs (threaded segment pipelines and BLAS
+  both scale with it),
+- ``blas``       -- the BLAS/LAPACK libraries numpy was built against,
+- ``numpy`` / ``python`` -- versions (kernel dispatch changes between
+  releases),
+- ``machine``    -- the ISA (``x86_64``, ``arm64``, ...).
+
+``hostname_hash`` is recorded for provenance (which box was this?)
+but deliberately excluded from the digest: two identical containers on
+different hosts are comparable, and the raw hostname never leaves the
+machine un-hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import socket
+import sys
+from typing import Any, Dict
+
+__all__ = [
+    "fingerprint_digest",
+    "fingerprints_compatible",
+    "machine_fingerprint",
+]
+
+#: fields folded into the digest, in order (hostname_hash is provenance
+#: only -- identical hardware on two hosts must stay comparable).
+_DIGEST_FIELDS = ("cpu_model", "cpu_count", "blas", "numpy", "python", "machine")
+
+
+def _cpu_model() -> str:
+    """CPU model string; best effort across platforms."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def _blas_backend() -> str:
+    """The BLAS numpy links against, normalized to a short tag.
+
+    numpy >= 1.26 exposes ``show_config(mode="dicts")``; older builds
+    only have ``get_info``.  Either way the answer is reduced to the
+    library *names* -- paths vary per install and would fracture
+    otherwise-identical fingerprints.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return "none"
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "")
+        if name:
+            return str(name)
+    except (TypeError, AttributeError, KeyError):
+        pass
+    try:
+        info = np.__config__.get_info("blas_opt_info")  # type: ignore[attr-defined]
+        libs = info.get("libraries")
+        if libs:
+            return ",".join(sorted(str(lib) for lib in libs))
+    except (AttributeError, KeyError):
+        pass
+    return "unknown"
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return "none"
+    return np.__version__
+
+
+def fingerprint_digest(fingerprint: Dict[str, Any]) -> str:
+    """Digest over the performance-shaping fields of a fingerprint."""
+    material = "\n".join(
+        f"{field}={fingerprint.get(field)}" for field in _DIGEST_FIELDS
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Fingerprint the current process's machine (live, not cached).
+
+    Reads the environment on every call so tests can monkeypatch
+    ``os.cpu_count`` and observe the digest change -- exactly the
+    cross-machine mismatch the diff engine guards against.
+    """
+    fingerprint: Dict[str, Any] = {
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "blas": _blas_backend(),
+        "numpy": _numpy_version(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hostname_hash": hashlib.sha256(
+            socket.gethostname().encode()
+        ).hexdigest()[:12],
+    }
+    fingerprint["digest"] = fingerprint_digest(fingerprint)
+    return fingerprint
+
+
+def fingerprints_compatible(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Whether two profiles' timings are comparable (same digest)."""
+    return bool(a.get("digest")) and a.get("digest") == b.get("digest")
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging aid
+    import json
+
+    json.dump(machine_fingerprint(), sys.stdout, indent=2)
+    print()

@@ -1,0 +1,150 @@
+"""Human rendering of perf history: trajectory tables and diff lines.
+
+``render_log`` is the `repro perf log` view: one column per recorded
+version (newest last), one row per (circuit, metric), so a metric's
+trajectory across SHAs reads left to right.  ``render_diff`` is the
+one-line-per-record view shared by ``repro perf diff`` and
+``benchmarks/bench_diff.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+
+__all__ = ["render_diff", "render_log", "version_label"]
+
+#: metrics shown by the log view, in order; rate tables expand to one
+#: row per batch size.
+_LOG_METRICS = (
+    "repeat_estimate_min_seconds",
+    "batched_scenarios_per_sec",
+    "max_abs_error",
+    "mean_activity",
+)
+
+_STATUS_FLAGS = {
+    "ok": " ",
+    "skipped": "~",
+    "missing": "?",
+    "regression": "!",
+    "accuracy": "#",
+}
+
+
+def version_label(profile: Dict[str, Any]) -> str:
+    """Column label for one recorded version: short SHA, ``*`` if the
+    working tree was dirty when recorded."""
+    git = profile.get("git", {})
+    label = git.get("short") or git.get("sha", "?")[:10]
+    return f"{label}*" if git.get("dirty") else label
+
+
+def _metric_rows(
+    profiles: List[Dict[str, Any]],
+    metric_filter: Optional[str],
+    circuit_filter: Optional[str],
+) -> List[Tuple[str, str]]:
+    """Ordered union of (circuit, metric-row) keys across versions."""
+    rows: List[Tuple[str, str]] = []
+    seen = set()
+    for profile in profiles:
+        for circuit, block in sorted(profile["measurements"].items()):
+            if circuit_filter is not None and circuit != circuit_filter:
+                continue
+            for metric in _LOG_METRICS:
+                if metric_filter is not None and metric != metric_filter:
+                    continue
+                value = block.get(metric)
+                if value is None:
+                    continue
+                if isinstance(value, dict):
+                    keys = [f"{metric}[K={k}]" for k in sorted(value, key=int)]
+                else:
+                    keys = [metric]
+                for key in keys:
+                    if (circuit, key) not in seen:
+                        seen.add((circuit, key))
+                        rows.append((circuit, key))
+    return rows
+
+
+def _cell(block: Dict[str, Any], metric_key: str) -> Any:
+    if "[K=" in metric_key:
+        metric, batch = metric_key[:-1].split("[K=")
+        table = block.get(metric)
+        if isinstance(table, dict) and batch in table:
+            return float(table[batch])
+        return float("nan")
+    value = block.get(metric_key)
+    return float(value) if value is not None else float("nan")
+
+
+def render_log(
+    profiles: List[Dict[str, Any]],
+    metric: Optional[str] = None,
+    circuit: Optional[str] = None,
+) -> str:
+    """Trajectory table: rows are (circuit, metric), columns versions.
+
+    ``profiles`` is oldest-first (the store's order); absent cells
+    render as ``-`` (a quick recording covers fewer circuits than a
+    full one).
+    """
+    if not profiles:
+        return "perf log: no recorded profiles\n"
+    header_lines = []
+    for i, profile in enumerate(profiles):
+        fp = profile.get("fingerprint", {})
+        header_lines.append(
+            f"  {version_label(profile):>12s}  {profile.get('recorded_at', '?')}"
+            f"  machine {fp.get('digest', '?')}"
+            + (f"  ({profile['note']})" if profile.get("note") else "")
+        )
+    keys = _metric_rows(profiles, metric, circuit)
+    if not keys:
+        wanted = f"metric {metric!r}" if metric else "the log metrics"
+        return (
+            "\n".join(header_lines)
+            + f"\nperf log: no measurements matching {wanted}\n"
+        )
+    table_rows = []
+    for circuit_name, metric_key in keys:
+        cells: List[Any] = [circuit_name, metric_key]
+        for profile in profiles:
+            block = profile["measurements"].get(circuit_name)
+            cells.append(
+                _cell(block, metric_key) if block is not None else float("nan")
+            )
+        table_rows.append(cells)
+    headers = ["circuit", "metric"] + [version_label(p) for p in profiles]
+    return (
+        "\n".join(header_lines)
+        + "\n\n"
+        + format_table(headers, table_rows, precision=6)
+        + "\n"
+    )
+
+
+def render_diff(records: List[Dict[str, Any]]) -> str:
+    """One line per compared record, worst problems flagged.
+
+    Flags: ``!`` perf regression, ``#`` accuracy drift, ``~`` skipped
+    (below the timing floor), ``?`` missing from the new side.
+    """
+    lines = []
+    for record in records:
+        key = record["key"]
+        if isinstance(key, tuple):
+            key = ",".join(str(part) for part in key)
+        flag = _STATUS_FLAGS.get(record["status"], "?")
+        if record["status"] == "missing":
+            lines.append(f"{flag} {key:>16s}  (not in new profile)  missing")
+            continue
+        lines.append(
+            f"{flag} {key:>16s}  {record['metric']}  "
+            f"old {record['old']:12.6g}  new {record['new']:12.6g}  "
+            f"x{record['ratio']:.3f}  {record['status']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

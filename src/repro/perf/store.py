@@ -1,0 +1,319 @@
+"""Append-only, schema-versioned store of performance profiles.
+
+The store is a directory (``.repro-perf/`` by default, overridable via
+``$REPRO_PERF_DIR``) holding one JSON-lines file, ``profiles.jsonl``:
+one profile per line, append-only, newest last.  Append-only is the
+point -- the perf trajectory of the repository is a *history*, and
+``repro perf log`` renders it directly from this file.  A committed
+baseline (:data:`BASELINE_FILE`, ``PERF_HISTORY.json``) carries the
+same profiles wrapped in a ``{"profiles": [...]}`` document so CI can
+diff a fresh recording against the last agreed-on numbers.
+
+Profile shape (``repro.perf/v1``)::
+
+    {
+      "schema": "repro.perf/v1",
+      "schema_version": 1,
+      "recorded_at": "2026-08-08T12:00:00Z",   # ISO-8601 UTC
+      "note": "",                              # free-form provenance
+      "git": {"sha": str, "short": str, "dirty": bool},
+      "fingerprint": {..., "digest": str},     # see perf.fingerprint
+      "obs": {"counters": ..., "gauges": ..., "histograms": ...},
+      "measurements": {
+        "<circuit>": {
+          "repeat_estimate_min_seconds": float,        # primary (time)
+          "repeat_estimate_seconds_samples": [float],  # raw cycles
+          "batched_scenarios_per_sec": {"64": float},  # primary (rate)
+          "max_abs_error": float,        # vs enumeration oracle
+          "max_abs_diff_vs_dense": float,
+          "mean_activity": float,        # accuracy-gated
+          ...                            # context (compile_seconds, ...)
+        },
+      },
+    }
+
+Corruption policy (mirrors the compile cache's corrupt-entry
+eviction): a truncated or garbage line -- a byte-chopped file after a
+crash mid-append -- is *skipped* with a :class:`UserWarning` and a
+``perf.store.corrupt`` obs counter increment, never a crash.  The
+profiles before the damage stay readable, which is all an append-only
+log can promise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PerfProfileError
+from repro.obs.metrics import get_metrics
+
+__all__ = [
+    "BASELINE_FILE",
+    "DEFAULT_STORE_DIR",
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
+    "PerfStore",
+    "load_profiles_file",
+    "validate_profile",
+    "write_history",
+]
+
+PROFILE_SCHEMA = "repro.perf/v1"
+PROFILE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store directory.
+STORE_DIR_ENV = "REPRO_PERF_DIR"
+
+#: Default store directory, relative to the working directory (the
+#: store is per-checkout state, like ``.git``, not per-user state).
+DEFAULT_STORE_DIR = ".repro-perf"
+
+#: The committed baseline document diffed against in CI.
+BASELINE_FILE = "PERF_HISTORY.json"
+
+
+def _fail(message: str) -> None:
+    raise PerfProfileError(f"invalid perf profile: {message}")
+
+
+def validate_profile(profile: Any) -> Dict[str, Any]:
+    """Validate a profile against the ``repro.perf/v1`` schema.
+
+    Raises :class:`~repro.errors.PerfProfileError` on drift; returns
+    the profile unchanged on success so calls can be inlined.
+    """
+    if not isinstance(profile, dict):
+        _fail("top level is not an object")
+    if profile.get("schema") != PROFILE_SCHEMA:
+        _fail(
+            f"schema is {profile.get('schema')!r}, expected {PROFILE_SCHEMA!r}"
+        )
+    if profile.get("schema_version") != PROFILE_SCHEMA_VERSION:
+        _fail(
+            f"schema_version is {profile.get('schema_version')!r}, "
+            f"expected {PROFILE_SCHEMA_VERSION}"
+        )
+    git = profile.get("git")
+    if not isinstance(git, dict) or not isinstance(git.get("sha"), str):
+        _fail("git.sha is missing or not a string")
+    if not isinstance(git.get("dirty"), bool):
+        _fail("git.dirty is missing or not a bool")
+    fingerprint = profile.get("fingerprint")
+    if not isinstance(fingerprint, dict) or not isinstance(
+        fingerprint.get("digest"), str
+    ):
+        _fail("fingerprint.digest is missing or not a string")
+    measurements = profile.get("measurements")
+    if not isinstance(measurements, dict) or not measurements:
+        _fail("measurements is missing or empty")
+    for circuit, metrics in measurements.items():
+        if not isinstance(circuit, str):
+            _fail("measurements has a non-string circuit key")
+        if not isinstance(metrics, dict):
+            _fail(f"measurements[{circuit!r}] is not an object")
+        for name, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                continue
+            if isinstance(value, str):
+                continue
+            if isinstance(value, dict) and all(
+                isinstance(v, (int, float)) for v in value.values()
+            ):
+                continue
+            if isinstance(value, list) and all(
+                isinstance(v, (int, float)) for v in value
+            ):
+                continue
+            _fail(
+                f"measurements[{circuit!r}][{name!r}] is neither a number, "
+                f"a string, a numeric list, nor a flat numeric object"
+            )
+    if "obs" in profile and not isinstance(profile["obs"], dict):
+        _fail("obs is present but not an object")
+    return profile
+
+
+def _count_corrupt(detail: str) -> None:
+    """A damaged entry: warn, count, move on (never crash)."""
+    warnings.warn(
+        f"perf store: skipping corrupt profile entry ({detail})",
+        UserWarning,
+        stacklevel=3,
+    )
+    registry = get_metrics()
+    if registry.enabled:
+        registry.counter("perf.store.corrupt").inc(1)
+
+
+def default_store_dir() -> Path:
+    """``$REPRO_PERF_DIR``, else ``.repro-perf`` in the working dir."""
+    override = os.environ.get(STORE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(DEFAULT_STORE_DIR)
+
+
+class PerfStore:
+    """Append-only profile log under a store directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first append).  Defaults to
+        :func:`default_store_dir`.
+    """
+
+    FILENAME = "profiles.jsonl"
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_store_dir()
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+
+    def append(self, profile: Dict[str, Any]) -> Path:
+        """Validate and append one profile (one compact JSON line)."""
+        validate_profile(profile)
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(profile, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+        return self.path
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+
+    def profiles(
+        self, fingerprint_digest: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Every readable profile, oldest first.
+
+        Corrupt lines (truncated tail after a crash, garbage bytes) are
+        skipped with a warning and a ``perf.store.corrupt`` counter
+        increment.  ``fingerprint_digest`` filters to one machine.
+        """
+        if not self.path.is_file():
+            return []
+        found: List[Dict[str, Any]] = []
+        with open(self.path, errors="replace") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    profile = validate_profile(json.loads(line))
+                except (json.JSONDecodeError, PerfProfileError) as exc:
+                    _count_corrupt(f"{self.path}:{lineno}: {exc}")
+                    continue
+                if (
+                    fingerprint_digest is not None
+                    and profile["fingerprint"].get("digest")
+                    != fingerprint_digest
+                ):
+                    continue
+                found.append(profile)
+        return found
+
+    def resolve(self, ref: str) -> Dict[str, Any]:
+        """Resolve a profile reference to one profile.
+
+        ``ref`` is, in precedence order:
+
+        - a path to a profile JSON, a ``{"profiles": [...]}`` history
+          document (``PERF_HISTORY.json``), or a ``.jsonl`` log -- the
+          *last* profile in the file wins,
+        - ``"latest"`` -- the newest profile in this store,
+        - a git SHA prefix -- the newest stored profile whose
+          ``git.sha`` starts with it.
+        """
+        path = Path(ref)
+        if path.is_file():
+            profiles = load_profiles_file(path)
+            if not profiles:
+                raise PerfProfileError(f"{ref}: no readable profiles")
+            return profiles[-1]
+        profiles = self.profiles()
+        if ref == "latest":
+            if not profiles:
+                raise PerfProfileError(
+                    f"perf store {self.path} has no profiles; "
+                    f"run `repro perf record` first"
+                )
+            return profiles[-1]
+        matches = [p for p in profiles if p["git"]["sha"].startswith(ref)]
+        if not matches:
+            raise PerfProfileError(
+                f"no stored profile matches ref {ref!r} "
+                f"(store: {self.path}, {len(profiles)} profile(s))"
+            )
+        return matches[-1]
+
+
+def load_profiles_file(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Read profiles from a file of any supported shape, oldest first.
+
+    Accepts a single-profile JSON document, a ``{"profiles": [...]}``
+    history document, a bare JSON list, or a ``.jsonl`` append log.
+    Corrupt entries are skipped with a warning (never a crash).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(errors="replace")
+    except OSError as exc:
+        raise PerfProfileError(f"cannot read {path}: {exc}") from exc
+    candidates: List[Any]
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        # JSON-lines (or a damaged document): recover line by line.
+        candidates = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                candidates.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                _count_corrupt(f"{path}:{lineno}: {exc}")
+    else:
+        if isinstance(document, dict) and "profiles" in document:
+            candidates = document["profiles"]
+            if not isinstance(candidates, list):
+                raise PerfProfileError(f"{path}: 'profiles' is not a list")
+        elif isinstance(document, list):
+            candidates = document
+        else:
+            candidates = [document]
+    found: List[Dict[str, Any]] = []
+    for i, candidate in enumerate(candidates):
+        try:
+            found.append(validate_profile(candidate))
+        except PerfProfileError as exc:
+            _count_corrupt(f"{path}[{i}]: {exc}")
+    return found
+
+
+def write_history(path: os.PathLike, profiles: List[Dict[str, Any]]) -> Path:
+    """Write the committed-baseline history document."""
+    path = Path(path)
+    for profile in profiles:
+        validate_profile(profile)
+    document = {
+        "schema": PROFILE_SCHEMA,
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "profiles": profiles,
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

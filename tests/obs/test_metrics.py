@@ -71,12 +71,43 @@ class TestHistogram:
         for v in (1.0, 2.0, 3.0):
             h.observe(v)
         stats = h.to_value()
-        assert stats == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert stats == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "p50": 2.0, "p90": 3.0, "p99": 3.0,
+        }
 
     def test_empty_export(self):
         assert Histogram("h").to_value() == {
             "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
         }
+
+    def test_percentiles_exact_below_reservoir(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100, well under the reservoir cap
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        stats = h.to_value()
+        assert (stats["p50"], stats["p90"], stats["p99"]) == (50.0, 90.0, 99.0)
+
+    def test_percentiles_bounded_past_reservoir(self):
+        h = Histogram("h")
+        for v in range(4 * Histogram.RESERVOIR_SIZE):
+            h.observe(float(v))
+        # Reservoir-sampled estimates stay inside the observed range
+        # and ordered; exactness is not promised past the cap.
+        stats = h.to_value()
+        assert len(h._samples) == Histogram.RESERVOIR_SIZE
+        assert stats["min"] <= stats["p50"] <= stats["p90"] <= stats["p99"] <= stats["max"]
+
+    def test_percentiles_deterministic(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in range(3 * Histogram.RESERVOIR_SIZE):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.to_value() == b.to_value()
 
 
 class TestRegistry:

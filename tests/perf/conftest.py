@@ -1,0 +1,55 @@
+"""Shared fixtures: synthetic ``repro.perf/v1`` profiles.
+
+Diff/store/render tests run on hand-built profiles (fast,
+deterministic); only the CLI end-to-end tests record real ones.
+"""
+
+import copy
+
+import pytest
+
+from repro.perf.store import PROFILE_SCHEMA, PROFILE_SCHEMA_VERSION
+
+BASE_FINGERPRINT = {
+    "cpu_model": "Synthetic CPU",
+    "cpu_count": 4,
+    "blas": "openblas",
+    "numpy": "2.0.0",
+    "python": "3.12.0",
+    "machine": "x86_64",
+    "hostname_hash": "abc123def456",
+    "digest": "feedfacefeedface",
+}
+
+
+def make_profile(sha="a" * 40, note="", **measurement_overrides):
+    """One synthetic profile with a single well-formed c17 block."""
+    block = {
+        "gates": 6,
+        "repeat_estimate_min_seconds": 0.010,
+        "repeat_estimate_seconds_samples": [0.010, 0.011, 0.012],
+        "batched_scenarios_per_sec": {"64": 20000.0},
+        "max_abs_error": 1e-15,
+        "mean_activity": 0.470170,
+    }
+    block.update(measurement_overrides)
+    return {
+        "schema": PROFILE_SCHEMA,
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "recorded_at": "2026-08-08T00:00:00Z",
+        "note": note,
+        "git": {"sha": sha, "short": sha[:10], "dirty": False},
+        "fingerprint": copy.deepcopy(BASE_FINGERPRINT),
+        "measurements": {"c17": block},
+    }
+
+
+@pytest.fixture
+def profile():
+    return make_profile()
+
+
+@pytest.fixture
+def profile_pair():
+    """Two identical-measurement profiles at different SHAs."""
+    return make_profile(sha="a" * 40), make_profile(sha="b" * 40)

@@ -1,0 +1,205 @@
+"""The statistical gate: noise band, floor, dispersion, exit codes."""
+
+import pytest
+
+from repro.errors import PerfDiffError
+from repro.perf.diff import compare_bench_documents, compare_profiles, exit_code
+
+from .conftest import make_profile
+
+
+def _statuses(records):
+    return {(r["key"], r["metric"]): r["status"] for r in records}
+
+
+class TestIdenticalProfiles:
+    def test_identical_is_clean(self, profile_pair):
+        old, new = profile_pair
+        records = compare_profiles(old, new)
+        assert exit_code(records) == 0
+        assert all(r["status"] in ("ok", "skipped") for r in records)
+
+    def test_same_profile_object(self, profile):
+        assert exit_code(compare_profiles(profile, profile)) == 0
+
+
+class TestTimeGate:
+    def test_two_x_slowdown_exits_one(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(
+            sha="b" * 40,
+            repeat_estimate_min_seconds=0.020,
+            repeat_estimate_seconds_samples=[0.020, 0.021, 0.022],
+        )
+        records = compare_profiles(old, new)
+        assert _statuses(records)[("c17", "repeat_estimate_min_seconds")] == (
+            "regression"
+        )
+        assert exit_code(records) == 1
+
+    def test_within_band_is_ok(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(
+            sha="b" * 40,
+            repeat_estimate_min_seconds=0.0115,  # +15% < 25% band
+            repeat_estimate_seconds_samples=[0.0115, 0.0116, 0.0117],
+        )
+        assert exit_code(compare_profiles(old, new)) == 0
+
+    def test_dispersion_widens_the_band(self):
+        # A noisy recording (median 60% above min) must tolerate a
+        # delta the configured band alone would flag.
+        old = make_profile(
+            sha="a" * 40,
+            repeat_estimate_min_seconds=0.010,
+            repeat_estimate_seconds_samples=[0.010, 0.016, 0.018],
+        )
+        new = make_profile(
+            sha="b" * 40,
+            repeat_estimate_min_seconds=0.014,  # +40%: band 0.25 + disp 0.6
+            repeat_estimate_seconds_samples=[0.014, 0.015, 0.015],
+        )
+        records = compare_profiles(old, new)
+        status = _statuses(records)[("c17", "repeat_estimate_min_seconds")]
+        assert status == "ok"
+        (time_record,) = [
+            r for r in records if r["metric"] == "repeat_estimate_min_seconds"
+        ]
+        assert time_record["band"] == pytest.approx(0.85)
+
+    def test_sub_floor_rows_are_skipped(self):
+        old = make_profile(
+            sha="a" * 40,
+            repeat_estimate_min_seconds=0.0002,
+            repeat_estimate_seconds_samples=[0.0002, 0.0002],
+        )
+        new = make_profile(
+            sha="b" * 40,
+            repeat_estimate_min_seconds=0.0009,  # 4.5x, but timer noise
+            repeat_estimate_seconds_samples=[0.0009, 0.0009],
+        )
+        records = compare_profiles(old, new, floor_seconds=0.001)
+        assert _statuses(records)[("c17", "repeat_estimate_min_seconds")] == (
+            "skipped"
+        )
+        assert exit_code(records) == 0
+
+
+class TestRateGate:
+    def test_rate_drop_exits_one(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(
+            sha="b" * 40, batched_scenarios_per_sec={"64": 10000.0}
+        )
+        records = compare_profiles(old, new)
+        assert _statuses(records)[("c17[K=64]", "batched_scenarios_per_sec")] == (
+            "regression"
+        )
+        assert exit_code(records) == 1
+
+    def test_rate_gain_is_ok(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(
+            sha="b" * 40, batched_scenarios_per_sec={"64": 40000.0}
+        )
+        assert exit_code(compare_profiles(old, new)) == 0
+
+
+class TestAccuracyGate:
+    def test_error_drift_exits_two(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(sha="b" * 40, max_abs_error=1e-3)
+        records = compare_profiles(old, new)
+        assert _statuses(records)[("c17", "max_abs_error")] == "accuracy"
+        assert exit_code(records) == 2
+
+    def test_error_within_atol_is_ok(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(sha="b" * 40, max_abs_error=5e-7)
+        assert exit_code(compare_profiles(old, new)) == 0
+
+    def test_mean_activity_drift_exits_two(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(sha="b" * 40, mean_activity=0.471170)
+        assert exit_code(compare_profiles(old, new)) == 2
+
+    def test_accuracy_outranks_perf(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(
+            sha="b" * 40,
+            repeat_estimate_min_seconds=0.050,
+            repeat_estimate_seconds_samples=[0.050, 0.051],
+            max_abs_error=1e-3,
+        )
+        assert exit_code(compare_profiles(old, new)) == 2
+
+    def test_error_shrinking_is_never_flagged(self):
+        old = make_profile(sha="a" * 40, max_abs_error=1e-3)
+        new = make_profile(sha="b" * 40, max_abs_error=1e-15)
+        assert exit_code(compare_profiles(old, new)) == 0
+
+
+class TestCoverage:
+    def test_missing_circuit_is_nonfailing(self):
+        old = make_profile(sha="a" * 40)
+        old["measurements"]["alu"] = {"repeat_estimate_min_seconds": 0.004}
+        new = make_profile(sha="b" * 40)  # c17 only (a quick recording)
+        records = compare_profiles(old, new)
+        assert _statuses(records)[("alu", "*")] == "missing"
+        assert exit_code(records) == 0
+
+    def test_no_common_measurements_raises(self):
+        old = make_profile(sha="a" * 40)
+        old["measurements"] = {"alu": {"gates": 74}}
+        new = make_profile(sha="b" * 40)
+        with pytest.raises(PerfDiffError, match="no comparable"):
+            compare_profiles(old, new)
+
+
+class TestBenchDocumentCompare:
+    def test_mismatched_kinds_raise(self):
+        with pytest.raises(PerfDiffError, match="kinds differ"):
+            compare_bench_documents(
+                {"benchmark": "propagation", "results": []},
+                {"benchmark": "throughput", "results": []},
+            )
+
+    def test_missing_rows_raise(self):
+        old = {
+            "benchmark": "propagation",
+            "results": [
+                {"circuit": "c17", "repeat_estimate_min_seconds": 0.5},
+                {"circuit": "alu", "repeat_estimate_min_seconds": 0.5},
+            ],
+        }
+        new = {
+            "benchmark": "propagation",
+            "results": [{"circuit": "c17", "repeat_estimate_min_seconds": 0.5}],
+        }
+        with pytest.raises(PerfDiffError, match="missing"):
+            compare_bench_documents(old, new)
+
+    def test_tuple_keys_and_regression(self):
+        old = {
+            "benchmark": "throughput",
+            "results": [
+                {
+                    "circuit": "c17",
+                    "batch_size": 64,
+                    "batched_scenarios_per_sec": 1000.0,
+                }
+            ],
+        }
+        new = {
+            "benchmark": "throughput",
+            "results": [
+                {
+                    "circuit": "c17",
+                    "batch_size": 64,
+                    "batched_scenarios_per_sec": 400.0,
+                }
+            ],
+        }
+        (record,) = compare_bench_documents(old, new)
+        assert record["key"] == ("c17", 64)
+        assert record["status"] == "regression"

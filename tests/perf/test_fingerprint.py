@@ -1,0 +1,68 @@
+"""Machine fingerprint: stability, digest scope, cross-machine guard."""
+
+import os
+
+import pytest
+
+from repro.errors import PerfDiffError
+from repro.perf.diff import compare_profiles
+from repro.perf.fingerprint import (
+    fingerprint_digest,
+    fingerprints_compatible,
+    machine_fingerprint,
+)
+
+from .conftest import make_profile
+
+
+class TestFingerprint:
+    def test_stable_within_a_process(self):
+        a = machine_fingerprint()
+        b = machine_fingerprint()
+        assert a["digest"] == b["digest"]
+        assert fingerprints_compatible(a, b)
+
+    def test_required_fields_present(self):
+        fp = machine_fingerprint()
+        for field in (
+            "cpu_model", "cpu_count", "blas", "numpy", "python",
+            "machine", "hostname_hash", "digest",
+        ):
+            assert field in fp, field
+        assert fp["cpu_count"] >= 1
+        assert len(fp["digest"]) == 16
+
+    def test_cpu_count_changes_digest(self, monkeypatch):
+        before = machine_fingerprint()
+        monkeypatch.setattr(os, "cpu_count", lambda: before["cpu_count"] + 63)
+        after = machine_fingerprint()
+        assert after["cpu_count"] == before["cpu_count"] + 63
+        assert after["digest"] != before["digest"]
+        assert not fingerprints_compatible(before, after)
+
+    def test_hostname_excluded_from_digest(self):
+        fp = machine_fingerprint()
+        other = dict(fp, hostname_hash="0" * 12)
+        assert fingerprint_digest(other) == fp["digest"]
+
+    def test_missing_digest_never_compatible(self):
+        assert not fingerprints_compatible({}, {})
+        assert not fingerprints_compatible({"digest": ""}, {"digest": ""})
+
+
+class TestCrossMachineGuard:
+    def test_diff_refuses_different_machines(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(sha="b" * 40)
+        new["fingerprint"]["cpu_count"] = 64
+        new["fingerprint"]["digest"] = "0123456789abcdef"
+        with pytest.raises(PerfDiffError, match="fingerprints differ"):
+            compare_profiles(old, new)
+
+    def test_force_overrides_the_guard(self):
+        old = make_profile(sha="a" * 40)
+        new = make_profile(sha="b" * 40)
+        new["fingerprint"]["digest"] = "0123456789abcdef"
+        records = compare_profiles(old, new, force=True)
+        assert records
+        assert all(r["status"] in ("ok", "skipped") for r in records)

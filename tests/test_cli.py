@@ -112,7 +112,7 @@ def test_stats_subcommand_reports_span_tree(
     assert "re-propagate" in out
 
     report = json.loads(report_path.read_text())
-    assert report["schema"] == "repro.obs/v1"
+    assert report["schema"] == "repro.obs/v2"
     names = set()
 
     def walk(span):
