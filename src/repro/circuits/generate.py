@@ -427,6 +427,26 @@ def random_layered_circuit(
     )
 
 
+def scale_circuit(
+    n_gates: int, seed: int = 0, name: Optional[str] = None
+) -> Circuit:
+    """Multi-thousand-gate layered benchmark tuned for segmentation.
+
+    A preset over :func:`random_layered_circuit` for the 2k-100k gate
+    range: the input count grows as roughly the square root of the gate
+    count (rounded to a power of two), so level widths -- and with them
+    cone widths and per-segment clique sizes -- stay bounded while the
+    depth keeps the paper's shallow ISCAS-like profile.  2000 gates get
+    64 inputs, 10000 gates get 128.
+    """
+    if n_gates < 64:
+        raise ValueError("scale_circuit targets large circuits; need n_gates >= 64")
+    n_inputs = int(2 ** round(np.log2(np.sqrt(n_gates)) + 0.5))
+    return random_layered_circuit(
+        n_inputs, n_gates, seed=seed, name=name or f"scale{n_gates}"
+    )
+
+
 def _random_layered(
     n_inputs: int,
     n_gates: int,

@@ -146,6 +146,19 @@ _SUITE_FACTORIES: List[tuple] = [
     ("pcler8", lambda: generate.parity_clear_register(8, name="pcler8"), True),
 ]
 
+#: Circuits beyond Table 1: the segmentation scale tier (multi-thousand
+#: gates, far past any single-network clique budget) and two seeded
+#: refinement demos whose boundary cuts are deliberately lossy, so
+#: iterative refinement has visible error to recover (see DESIGN.md
+#: section 14).  Kept out of FULL_SUITE: Table-1 consumers (paper
+#: tables, the bitwise-compat baselines) iterate that list by contract.
+_SCALE_FACTORIES: List[tuple] = [
+    ("layered2k", lambda: generate.scale_circuit(2000, seed=2024, name="layered2k"), True),
+    ("layered10k", lambda: generate.scale_circuit(10000, seed=2025, name="layered10k"), True),
+    ("refineA", lambda: generate.random_layered_circuit(6, 48, seed=14, name="refineA"), True),
+    ("refineB", lambda: generate.random_layered_circuit(8, 60, seed=17, name="refineB"), True),
+]
+
 #: Subset of suite names that compile into a single Bayesian network in
 #: well under a second -- used by quick tests and smoke benchmarks.
 SMALL_SUITE = ["c17", "alu", "max_flat", "voter", "count", "comp", "pcler8"]
@@ -153,25 +166,29 @@ SMALL_SUITE = ["c17", "alu", "max_flat", "voter", "count", "comp", "pcler8"]
 #: The full Table 1 row order.
 FULL_SUITE = [name for name, _, _ in _SUITE_FACTORIES]
 
+#: The segmentation scale tier (plus refinement demos), in size order.
+SCALE_SUITE = [name for name, _, _ in _SCALE_FACTORIES]
+
 
 def available_circuits() -> List[str]:
-    """Names of all suite circuits, in Table 1 row order."""
-    return list(FULL_SUITE)
+    """Names of all suite circuits: Table 1 row order, then the scale tier."""
+    return list(FULL_SUITE) + list(SCALE_SUITE)
 
 
 def load_circuit(name: str) -> Circuit:
     """Build one suite circuit by name."""
-    for circuit_name, factory, _ in _SUITE_FACTORIES:
+    for circuit_name, factory, _ in _SUITE_FACTORIES + _SCALE_FACTORIES:
         if circuit_name == name:
             return factory()
     raise UnknownCircuitError(
-        f"unknown suite circuit {name!r}; known: {', '.join(FULL_SUITE)}"
+        f"unknown suite circuit {name!r}; known: "
+        f"{', '.join(FULL_SUITE + SCALE_SUITE)}"
     )
 
 
 def is_standin(name: str) -> bool:
     """True if the named circuit is a synthetic stand-in (see DESIGN.md)."""
-    for circuit_name, _, synthetic in _SUITE_FACTORIES:
+    for circuit_name, _, synthetic in _SUITE_FACTORIES + _SCALE_FACTORIES:
         if circuit_name == name:
             return synthetic
     raise UnknownCircuitError(f"unknown suite circuit {name!r}")

@@ -172,7 +172,7 @@ def _resolve_cli_cache(args):
 
 def _resolve_circuit(spec: str):
     """A suite name, or a path to a ``.bench`` netlist on disk."""
-    if spec in suite.FULL_SUITE:
+    if spec in suite.available_circuits():
         return suite.load_circuit(spec)
     path = Path(spec)
     if path.suffix == ".bench" or path.is_file():
@@ -183,8 +183,23 @@ def _resolve_circuit(spec: str):
         return parse_bench_file(path)
     raise UnknownCircuitError(
         f"unknown circuit {spec!r}: not a suite name "
-        f"({', '.join(suite.FULL_SUITE)}) and not a .bench file"
+        f"({', '.join(suite.available_circuits())}) and not a .bench file"
     )
+
+
+def _refine_opts(args) -> dict:
+    """Boundary-refinement options, forwarded only when requested.
+
+    Like ``--kernel``, ``--refine`` is a backend-specific knob: the
+    segmented (and auto) backends accept it and bake it into the compile
+    cache key; backends without the knob would reject the option.
+    """
+    if not getattr(args, "refine", 0):
+        return {}
+    opts = {"refine": args.refine, "refine_tol": args.refine_tol}
+    if args.max_iters is not None:
+        opts["max_iters"] = args.max_iters
+    return opts
 
 
 def _cmd_estimate(args) -> None:
@@ -204,6 +219,7 @@ def _cmd_estimate(args) -> None:
         fallback=args.fallback or None,
         budget_seconds=args.budget_seconds,
         **kernel_opts,
+        **_refine_opts(args),
     )
     cache_note = {True: "hit", False: "miss", None: "off"}[result.cache_hit]
     print(
@@ -211,6 +227,11 @@ def _cmd_estimate(args) -> None:
         f"method {result.method}, cache {cache_note}, "
         f"compile {result.compile_seconds:.3f}s, propagate {result.propagate_seconds:.3f}s"
     )
+    if result.refine_iterations:
+        print(
+            f"  refine: {result.refine_iterations} iteration(s), "
+            f"final boundary delta {result.refine_delta:.3e}"
+        )
     for failed, reason in result.fallbacks:
         print(f"  fallback: {failed} failed ({reason})")
     print(f"mean switching activity: {result.mean_activity():.4f}")
@@ -274,6 +295,7 @@ def _cmd_sweep(args) -> None:
         batch_size=args.batch,
         dtype=args.dtype,
         **kernel_opts,
+        **_refine_opts(args),
     )
     elapsed = time.perf_counter() - start
     cache_note = {True: "hit", False: "miss", None: "off"}[results[0].cache_hit]
@@ -387,11 +409,22 @@ def _cmd_cache(args) -> None:
 def _cmd_fuzz(args) -> int:
     """Differentially fuzz the exact backends against the oracle."""
     from repro.core.backend import get_backend
-    from repro.testing.differential import DEFAULT_FUZZ_BACKENDS, run_fuzz
+    from repro.testing.differential import (
+        DEFAULT_FUZZ_BACKENDS,
+        parse_backend_spec,
+        run_fuzz,
+    )
 
     backends = tuple(args.backends) if args.backends else DEFAULT_FUZZ_BACKENDS
-    for name in backends:
-        get_backend(name)  # typos fail up front with the one-line error
+    if args.refine:
+        # Deliberately approximate: small segments force real cuts, the
+        # loose per-spec atol guards against divergence, not exactness.
+        backends += (
+            f"segmented(refine={args.refine}, max_gates_per_segment=10, "
+            f"lookback=1, atol=0.75)",
+        )
+    for spec in backends:
+        get_backend(parse_backend_spec(spec)[0])  # typos fail up front
     report = run_fuzz(
         seeds=args.seeds,
         max_gates=args.max_gates,
@@ -430,7 +463,7 @@ def _cmd_perf_record(args) -> None:
         write_history,
     )
 
-    if args.from_propagation or args.from_throughput:
+    if args.from_propagation or args.from_throughput or args.from_segmentation:
         profile = ingest_bench_documents(
             propagation=(
                 _load_bench_json(args.from_propagation, "propagation")
@@ -440,6 +473,11 @@ def _cmd_perf_record(args) -> None:
             throughput=(
                 _load_bench_json(args.from_throughput, "throughput")
                 if args.from_throughput
+                else None
+            ),
+            segmentation=(
+                _load_bench_json(args.from_segmentation, "segmentation")
+                if args.from_segmentation
                 else None
             ),
             note=args.note,
@@ -599,6 +637,20 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the backend's own default, auto)",
     )
     pe.add_argument(
+        "--refine", type=int, default=0, metavar="N",
+        help="segmented backend: up to N iterative boundary-refinement "
+             "passes over the segment graph (default: 0, off)",
+    )
+    pe.add_argument(
+        "--refine-tol", type=float, default=1e-5, metavar="TOL",
+        help="refinement convergence tolerance on the max boundary-belief "
+             "delta (default: 1e-5)",
+    )
+    pe.add_argument(
+        "--max-iters", type=int, default=None, metavar="N",
+        help="hard cap on refinement iterations (default: the --refine value)",
+    )
+    pe.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="compile-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
@@ -640,6 +692,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--dtype", choices=["float64", "float32"], default="float64",
         help="batch-buffer dtype; float32 halves sweep memory at ~1e-6 "
              "relative tolerance",
+    )
+    pw.add_argument(
+        "--refine", type=int, default=0, metavar="N",
+        help="segmented backend: up to N iterative boundary-refinement "
+             "passes over the segment graph (default: 0, off)",
+    )
+    pw.add_argument(
+        "--refine-tol", type=float, default=1e-5, metavar="TOL",
+        help="refinement convergence tolerance on the max boundary-belief "
+             "delta (default: 1e-5)",
+    )
+    pw.add_argument(
+        "--max-iters", type=int, default=None, metavar="N",
+        help="hard cap on refinement iterations (default: the --refine value)",
     )
     pw.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -694,8 +760,14 @@ def build_parser() -> argparse.ArgumentParser:
     pz.add_argument("--max-inputs", type=int, default=6,
                     help="max primary inputs; bounds the 4^n oracle (default: 6)")
     pz.add_argument(
-        "--backends", nargs="*", default=None, metavar="NAME",
-        help="backends to compare (default: junction-tree segmented enumeration)",
+        "--backends", nargs="*", default=None, metavar="SPEC",
+        help="backend names or specs like 'segmented(refine=2,atol=0.5)' "
+             "(default: junction-tree segmented enumeration)",
+    )
+    pz.add_argument(
+        "--refine", type=int, default=0, metavar="N",
+        help="also fuzz a refined segmented config (small segments, "
+             "N refinement iterations) at a loose approximate tolerance",
     )
     pz.add_argument("--atol", type=float, default=1e-10,
                     help="per-entry tolerance on line distributions (default: 1e-10)")
@@ -749,6 +821,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--from-throughput", default=None, metavar="FILE",
         help="ingest a BENCH_throughput.json instead of measuring",
+    )
+    pr.add_argument(
+        "--from-segmentation", default=None, metavar="FILE",
+        help="ingest a BENCH_segmentation.json instead of measuring",
     )
     pr.add_argument(
         "--note", default="", metavar="TEXT",

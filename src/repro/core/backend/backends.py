@@ -165,6 +165,9 @@ class SegmentedBackend(Backend):
         segment_backend: str = "auto",
         parallelism: int = 0,
         kernel: str = "auto",
+        refine: int = 0,
+        refine_tol: float = 1e-5,
+        max_iters: "Optional[int]" = None,
     ) -> EstimatorCompiledModel:
         estimator = SegmentedEstimator(
             circuit,
@@ -178,6 +181,9 @@ class SegmentedBackend(Backend):
             backend=segment_backend,
             parallelism=parallelism,
             kernel=kernel,
+            refine=refine,
+            refine_tol=refine_tol,
+            max_iters=max_iters,
         ).compile()
         return EstimatorCompiledModel(self.name, circuit, estimator)
 
@@ -229,6 +235,9 @@ class AutoBackend(Backend):
         heuristic: str = "min_fill",
         parallelism: int = 0,
         kernel: str = "auto",
+        refine: int = 0,
+        refine_tol: float = 1e-5,
+        max_iters: "Optional[int]" = None,
     ) -> EstimatorCompiledModel:
         if max_clique_states is None:
             max_clique_states = 4 ** 9 if circuit.num_gates > 2000 else 4 ** 10
@@ -253,6 +262,9 @@ class AutoBackend(Backend):
             boundary=boundary,
             parallelism=parallelism,
             kernel=kernel,
+            refine=refine,
+            refine_tol=refine_tol,
+            max_iters=max_iters,
         )
 
 

@@ -45,7 +45,11 @@ __all__ = ["ARTIFACT_SCHEMA", "ARTIFACT_SCHEMA_VERSION", "Backend", "CompiledMod
 #: masks, packed sparse-kernel index plans); engines carry packed belief
 #: buffers.  Supports serialize with the artifact, so cache hits skip
 #: the support analysis entirely.
-ARTIFACT_SCHEMA_VERSION = 3
+#: v4: segmented estimators carry the segment graph (SegmentNode
+#: records with glue-edge plans) and the boundary refiner's compiled
+#: glue-cone estimators instead of the flat segment/boundary-tree
+#: lists.
+ARTIFACT_SCHEMA_VERSION = 4
 
 #: Schema tag written into every saved artifact envelope.
 ARTIFACT_SCHEMA = f"repro.compiled/v{ARTIFACT_SCHEMA_VERSION}"

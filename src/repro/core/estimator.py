@@ -73,6 +73,11 @@ class SwitchingEstimate:
     #: how the facade obtained the compiled model: ``True`` (cache hit),
     #: ``False`` (miss), or ``None`` (no cache consulted / direct use)
     cache_hit: Optional[bool] = None
+    #: boundary-refinement iterations actually run (segmented backend
+    #: with ``refine > 0``; 0 everywhere else)
+    refine_iterations: int = 0
+    #: max boundary-belief delta at the last refinement iteration
+    refine_delta: float = 0.0
 
     def switching(self, line: str) -> float:
         """Switching activity of one line: P(x01) + P(x10)."""

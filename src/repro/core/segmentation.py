@@ -1,1228 +1,35 @@
-"""Multiple-BN estimation of large circuits (paper Section 6).
+"""Compatibility shim for the historical segmentation module.
 
-Circuits whose single junction tree would blow the clique budget are cut
-into *segments* along the topological order.  Each segment becomes its
-own LIDAG/junction tree; the 4-state marginals of the lines crossing a
-segment boundary are computed in the upstream segment and handed to the
-downstream segment as independent input priors.
-
-This is exactly the paper's "preliminary segmentation scheme":
-single-segment circuits are exact, while multi-segment circuits lose the
-*joint* correlation of boundary lines (only their marginals cross the
-cut), which is the error source the paper reports for its larger
-benchmarks.
+The monolithic implementation moved to the :mod:`repro.core.segments`
+package (PR 8): :mod:`~repro.core.segments.partition` holds cut
+discovery and the segment DAG, :mod:`~repro.core.segments.boundary` the
+cross-cut input models, :mod:`~repro.core.segments.refine` the
+iterative boundary refinement, and :mod:`~repro.core.segments.estimator`
+the :class:`SegmentedEstimator` orchestrating them.  This module
+re-exports the public names -- and the historical underscore-prefixed
+ones -- so existing imports keep working unchanged.
 """
 
-from __future__ import annotations
-
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
-
-from repro.bayesian.cpd import TabularCPD
-from repro.bayesian.propagation import PropagationCounters
-from repro.circuits.netlist import Circuit
-from repro.core.backend.base import Method
-from repro.core.backend.errors import CliqueBudgetExceeded
-from repro.core.estimator import SwitchingActivityEstimator, SwitchingEstimate
-from repro.core.inputs import IndependentInputs, InputModel
-from repro.core.states import N_STATES, current_values, previous_values
-from repro.obs.metrics import get_metrics
-from repro.obs.trace import get_tracer
-
-
-class FixedMarginalInputs(InputModel):
-    """Input model pinning each input line to a given 4-state marginal.
-
-    Used internally to feed upstream-segment marginals into downstream
-    segments; also handy for tests.
-    """
-
-    def __init__(self, distributions: Mapping[str, np.ndarray]):
-        self._distributions = {
-            name: np.asarray(dist, dtype=np.float64)
-            for name, dist in distributions.items()
-        }
-        for name, dist in self._distributions.items():
-            if dist.shape != (N_STATES,):
-                raise ValueError(f"distribution for {name!r} must have length {N_STATES}")
-            if not np.isclose(dist.sum(), 1.0, atol=1e-8):
-                raise ValueError(f"distribution for {name!r} does not sum to 1")
-
-    def marginal_distribution(self, name: str) -> np.ndarray:
-        if name not in self._distributions:
-            raise KeyError(f"no distribution for input {name!r}")
-        return self._distributions[name]
-
-    def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
-        return [
-            TabularCPD.prior(name, self.marginal_distribution(name))
-            for name in input_names
-        ]
-
-    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
-        # Distributions were validated once in __init__; sweeps may
-        # skip the per-call CPD re-checks.
-        return self._trusted_priors(input_names)
-
-    def sample_pairs(self, input_names, n_pairs, rng):
-        states = np.empty((n_pairs, len(input_names)), dtype=np.int64)
-        for j, name in enumerate(input_names):
-            states[:, j] = rng.choice(
-                N_STATES, size=n_pairs, p=self.marginal_distribution(name)
-            )
-        return (
-            previous_values(states).astype(np.uint8),
-            current_values(states).astype(np.uint8),
-        )
-
-
-class TreeBoundaryInputs(InputModel):
-    """Segment input model with tree-structured boundary correlation.
-
-    Boundary lines form a forest: roots carry their upstream marginal,
-    every other line carries a conditional table given its tree parent
-    (both refreshed from the upstream junction trees at estimate time).
-    This implements the paper's stated future work -- "an efficient
-    segmentation technique that will reduce the standard deviation and
-    the mean error" -- by letting pairwise boundary joints cross the cut
-    instead of bare marginals.
-    """
-
-    def __init__(
-        self,
-        priors: Mapping[str, np.ndarray],
-        parent_of: Mapping[str, str],
-        conditionals: Optional[Mapping[str, np.ndarray]] = None,
-    ):
-        self._priors = {k: np.asarray(v, dtype=np.float64) for k, v in priors.items()}
-        self._parent_of = dict(parent_of)
-        self._conditionals = {
-            k: np.asarray(v, dtype=np.float64) for k, v in (conditionals or {}).items()
-        }
-        for child, parent in self._parent_of.items():
-            if child not in self._priors or parent not in self._priors:
-                raise KeyError(f"tree edge {parent!r}->{child!r} references unknown line")
-
-    def marginal_distribution(self, name: str) -> np.ndarray:
-        return self._priors[name]
-
-    def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
-        return self._build_cpds(input_names, trusted=False)
-
-    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
-        # Priors and conditionals are extracted from calibrated upstream
-        # junction trees (normalized by construction), so sweeps skip
-        # the per-call row-sum re-checks.
-        return self._build_cpds(input_names, trusted=True)
-
-    def _build_cpds(
-        self, input_names: Sequence[str], trusted: bool
-    ) -> List[TabularCPD]:
-        available = set(input_names)
-        cpds: List[TabularCPD] = []
-        for name in input_names:
-            parent = self._parent_of.get(name)
-            if parent is None or parent not in available:
-                if trusted:
-                    cpds.append(TabularCPD._trusted(name, self._priors[name]))
-                else:
-                    cpds.append(TabularCPD.prior(name, self._priors[name]))
-            else:
-                table = self._conditionals.get(name)
-                if table is None:
-                    # Placeholder structure before numbers are known.
-                    table = np.tile(self._priors[name], (N_STATES, 1))
-                if trusted:
-                    cpds.append(TabularCPD._trusted(name, table, [parent]))
-                else:
-                    cpds.append(TabularCPD(name, N_STATES, table, [parent]))
-        return cpds
-
-    def sample_pairs(self, input_names, n_pairs, rng):
-        index = {name: j for j, name in enumerate(input_names)}
-        ordered = [n for n in input_names if self._parent_of.get(n) not in index]
-        pending = [n for n in input_names if n not in ordered]
-        while pending:
-            progressed = [n for n in pending if self._parent_of[n] in set(ordered)]
-            if not progressed:
-                raise ValueError("boundary tree contains a cycle")
-            ordered.extend(progressed)
-            pending = [n for n in pending if n not in set(progressed)]
-        states = np.empty((n_pairs, len(input_names)), dtype=np.int64)
-        for name in ordered:
-            j = index[name]
-            parent = self._parent_of.get(name)
-            if parent is None or parent not in index or name not in self._conditionals:
-                states[:, j] = rng.choice(N_STATES, size=n_pairs, p=self._priors[name])
-            else:
-                table = self._conditionals[name]
-                parent_states = states[:, index[parent]]
-                u = rng.random(n_pairs)[:, None]
-                cdfs = np.cumsum(table[parent_states], axis=1)
-                states[:, j] = (u > cdfs[:, :-1]).sum(axis=1)
-        return (
-            previous_values(states).astype(np.uint8),
-            current_values(states).astype(np.uint8),
-        )
-
-
-class _SegmentInputs(InputModel):
-    """Composite per-segment input model.
-
-    A segment's input lines split into two kinds: *primary* inputs of
-    the full circuit, and *boundary* lines driven by upstream segments.
-    Primary inputs delegate to the user's input model -- preserving any
-    input-to-input correlation CPDs (e.g.
-    :class:`~repro.core.inputs.CorrelatedGroupInputs` chains) among the
-    primaries present in the segment -- while boundary lines use the
-    marginals (plus tree conditionals) refreshed from upstream segments.
-
-    Before this model existed, the segmentation replaced *every* input
-    line's statistics with bare marginals, silently dropping spatial
-    input correlation even for circuits small enough to fit a single
-    segment (found by the differential fuzz harness).
-    """
-
-    def __init__(
-        self, user_model: InputModel, primary: Iterable[str], boundary: InputModel
-    ):
-        self.user_model = user_model
-        self.primary = frozenset(primary)
-        self.boundary = boundary
-
-    def _split(self, input_names: Sequence[str]):
-        primary = [n for n in input_names if n in self.primary]
-        rest = [n for n in input_names if n not in self.primary]
-        return primary, rest
-
-    def marginal_distribution(self, name: str) -> np.ndarray:
-        if name in self.primary:
-            return self.user_model.marginal_distribution(name)
-        return self.boundary.marginal_distribution(name)
-
-    def input_cpds(self, input_names: Sequence[str]) -> List[TabularCPD]:
-        primary, rest = self._split(input_names)
-        return self.user_model.input_cpds(primary) + self.boundary.input_cpds(rest)
-
-    def input_cpds_trusted(self, input_names: Sequence[str]) -> List[TabularCPD]:
-        primary, rest = self._split(input_names)
-        return self.user_model.input_cpds_trusted(
-            primary
-        ) + self.boundary.input_cpds_trusted(rest)
-
-    def sample_pairs(self, input_names, n_pairs, rng):
-        primary, rest = self._split(input_names)
-        index = {name: j for j, name in enumerate(input_names)}
-        prev = np.empty((n_pairs, len(input_names)), dtype=np.uint8)
-        cur = np.empty_like(prev)
-        for names, model in ((primary, self.user_model), (rest, self.boundary)):
-            if not names:
-                continue
-            part_prev, part_cur = model.sample_pairs(names, n_pairs, rng)
-            for j, name in enumerate(names):
-                prev[:, index[name]] = part_prev[:, j]
-                cur[:, index[name]] = part_cur[:, j]
-        return prev, cur
-
-
-class _SegmentRegistry:
-    """Staging area for compiled segments.
-
-    Registration order is the (deterministic) serial compile order.  A
-    registry can chain to a frozen ``base``: parallel compile workers
-    stage their own chunk's segments locally while resolving boundary
-    providers through the base, which holds every lower-level segment.
-    Same-level chunks never provide each other's inputs, so a worker's
-    view is identical to what the serial pass would have seen.
-    """
-
-    __slots__ = ("base", "records", "_provider")
-
-    def __init__(self, base: Optional["_SegmentRegistry"] = None):
-        self.base = base
-        #: (segment, estimator, owned, parent_of) in registration order
-        self.records: List[Tuple[Circuit, object, set, Dict[str, str]]] = []
-        self._provider: Dict[str, object] = {}
-
-    def provider_of(self, line: str):
-        """The estimator that publishes ``line``, or None."""
-        provider = self._provider.get(line)
-        if provider is None and self.base is not None:
-            return self.base.provider_of(line)
-        return provider
-
-    def add(self, segment, estimator, owned, parent_of) -> None:
-        self.records.append((segment, estimator, owned, parent_of))
-        for line in owned:
-            self._provider[line] = estimator
-
-
-class SegmentedEstimator:
-    """Switching-activity estimation with multiple Bayesian networks.
-
-    Parameters
-    ----------
-    circuit:
-        The circuit to analyse.
-    input_model:
-        Primary-input statistics.  Note: across segment boundaries only
-        marginals (or, in ``boundary="tree"`` mode, a spanning forest of
-        pairwise joints) propagate, so spatial input correlation is
-        preserved exactly only within a single segment.
-    max_gates_per_segment:
-        Initial segment granularity; segments whose junction tree would
-        exceed ``max_clique_states`` are split in half recursively.
-    max_clique_states:
-        Per-segment clique table budget.
-    lookback:
-        Levels of upstream logic duplicated into each segment.  The
-        duplicated cone re-creates reconvergent correlations close to
-        the cut, shrinking the boundary-independence error at the cost
-        of larger segments.  0 reproduces the naive scheme.
-    boundary:
-        ``"independent"`` hands only marginals across cuts (the paper's
-        preliminary scheme); ``"tree"`` additionally carries a spanning
-        forest of pairwise boundary joints (the paper's future-work
-        segmentation, our default).
-    enum_input_states:
-        When a segment's junction tree would blow the clique budget but
-        the segment has few *inputs*, fall back to exact support
-        enumeration (:class:`~repro.core.enumeration.EnumerationSegment`)
-        instead of splitting it -- deterministic CPTs make the segment's
-        joint support only ``4^inputs`` large no matter the treewidth.
-        This is the budget on that support size; 0 disables the fallback.
-    backend:
-        ``"auto"`` (default): junction trees with the enumeration
-        fallback.  ``"jt"``: junction trees only (the paper's setup).
-        ``"enum"``: every segment is enumerated; the partition greedily
-        grows segments along the cone order until the *input-count*
-        budget, which typically yields far fewer, larger, exact
-        segments on high-treewidth circuits.
-    parallelism:
-        Worker threads for the segment pipeline.  ``0`` or ``1`` keeps
-        the serial path.  ``>= 2`` compiles independent chunks
-        concurrently and propagates level-by-level over the segment
-        ownership DAG; results are bitwise identical to the serial
-        path (each segment sees exactly the same upstream inputs).
-    """
-
-    def __init__(
-        self,
-        circuit: Circuit,
-        input_model: Optional[InputModel] = None,
-        max_gates_per_segment: int = 60,
-        max_clique_states: int = 4 ** 9,
-        heuristic: str = "min_fill",
-        lookback: int = 3,
-        boundary: str = "tree",
-        enum_input_states: int = 4 ** 9,
-        backend: str = "auto",
-        parallelism: int = 0,
-        kernel: str = "auto",
-    ):
-        if max_gates_per_segment < 1:
-            raise ValueError("max_gates_per_segment must be >= 1")
-        if kernel not in ("auto", "dense", "sparse"):
-            raise ValueError(f"unknown kernel mode {kernel!r}")
-        if lookback < 0:
-            raise ValueError("lookback must be >= 0")
-        if boundary not in ("independent", "tree"):
-            raise ValueError(f"unknown boundary mode {boundary!r}")
-        if backend not in ("auto", "jt", "enum"):
-            raise ValueError(f"unknown backend {backend!r}")
-        if backend == "enum" and not enum_input_states:
-            raise ValueError("backend='enum' requires enum_input_states > 0")
-        if parallelism < 0:
-            raise ValueError("parallelism must be >= 0")
-        self.circuit = circuit
-        self.input_model = input_model if input_model is not None else IndependentInputs(0.5)
-        self.max_gates_per_segment = max_gates_per_segment
-        self.max_clique_states = max_clique_states
-        self.heuristic = heuristic
-        self.lookback = lookback
-        self.boundary = boundary
-        self.enum_input_states = enum_input_states
-        self.backend = backend
-        self.parallelism = parallelism
-        self.kernel = kernel
-        self._segments: List[Tuple[Circuit, object, set]] = []
-        #: per segment: child -> tree parent among that segment's inputs
-        self._boundary_trees: List[Dict[str, str]] = []
-        #: line -> index of the segment that owns (publishes) it
-        self._owner: Dict[str, int] = {}
-        self.compile_seconds = 0.0
-
-    # ------------------------------------------------------------------
-
-    def compile(self) -> "SegmentedEstimator":
-        """Partition the circuit and compile one junction tree per segment."""
-        if self._segments:
-            return self
-        with get_tracer().span(
-            "segmented.compile",
-            circuit=self.circuit.name,
-            parallelism=self.parallelism,
-            backend="segmented",
-        ) as span:
-            internal = self._cone_clustered_order()
-            self._position = {
-                ln: i for i, ln in enumerate(self.circuit.topological_order())
-            }
-            self._cone_cache: Dict[str, frozenset] = {}
-            if self.backend == "enum":
-                chunks = self._partition_by_inputs(internal)
-                compile_fn = self._compile_enum_chunk
-            else:
-                chunks = [
-                    internal[i : i + self.max_gates_per_segment]
-                    for i in range(0, len(internal), self.max_gates_per_segment)
-                ]
-                compile_fn = lambda chunk, label, registry: self._compile_chunk(  # noqa: E731
-                    chunk, label, self.lookback, registry
-                )
-            registry = _SegmentRegistry()
-            if self.parallelism > 1 and len(chunks) > 1:
-                records = self._compile_chunks_parallel(chunks, compile_fn, registry)
-            else:
-                for index, chunk in enumerate(chunks):
-                    compile_fn(chunk, f"{index}", registry)
-                records = registry.records
-            self._finalize_segments(records)
-            span.annotate(segments=len(self._segments))
-            metrics = get_metrics()
-            if metrics.enabled:
-                metrics.gauge("segmented.segments").set(len(self._segments))
-        self.compile_seconds = span.duration
-        return self
-
-    def _finalize_segments(self, records) -> None:
-        """Install staged records as the global segment tables."""
-        self._segments = [(seg, est, owned) for seg, est, owned, _ in records]
-        self._boundary_trees = [parent_of for _, _, _, parent_of in records]
-        self._owner = {}
-        for index, (_, _, owned) in enumerate(self._segments):
-            for line in owned:
-                self._owner[line] = index
-
-    def _chunk_levels(self, chunks: List[List[str]]) -> List[int]:
-        """Dependency level per chunk over the chunk-ownership DAG.
-
-        Chunk ``j`` is a dependency of chunk ``i`` when any line of
-        ``i``'s lookback-expanded segment (gates or their sources) is
-        owned by ``j``.  The expansion with the *maximum* lookback is
-        used, so levels stay conservative even when a budget miss later
-        sheds lookback or splits the chunk (sub-chunks only shrink the
-        expansion).
-        """
-        owner_chunk = {
-            line: index for index, chunk in enumerate(chunks) for line in chunk
-        }
-        levels: List[int] = []
-        for index, chunk in enumerate(chunks):
-            expanded = self._expand_with_lookback(chunk, self.lookback)
-            needed = set(expanded)
-            for line in expanded:
-                needed.update(self.circuit.driver(line).inputs)
-            deps = {
-                owner_chunk[line]
-                for line in needed
-                if line in owner_chunk and owner_chunk[line] != index
-            }
-            levels.append(1 + max((levels[d] for d in deps), default=-1))
-        return levels
-
-    def _compile_chunks_parallel(self, chunks, compile_fn, registry):
-        """Compile chunks level-by-level with a thread pool.
-
-        Each worker stages its chunk's segments (including any budget
-        splits) into a private registry chained to the shared one, so
-        sub-chunks of the same chunk see each other exactly as in the
-        serial pass.  Staged records merge into the shared registry
-        after every level; the final record list is rebuilt in chunk
-        order, which reproduces the serial registration order exactly.
-        """
-        from concurrent.futures import ThreadPoolExecutor
-
-        tracer = get_tracer()
-        levels = self._chunk_levels(chunks)
-        staged: List[Optional[_SegmentRegistry]] = [None] * len(chunks)
-        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-            for level in range(max(levels) + 1):
-                members = [i for i, lv in enumerate(levels) if lv == level]
-                with tracer.span(
-                    "segmented.compile.level", level=level, chunks=len(members)
-                ) as level_span:
-                    futures = []
-                    for index in members:
-                        staged[index] = _SegmentRegistry(base=registry)
-                        futures.append(
-                            pool.submit(
-                                self._compile_chunk_traced,
-                                compile_fn,
-                                chunks[index],
-                                f"{index}",
-                                staged[index],
-                                level_span,
-                            )
-                        )
-                    for future in futures:
-                        future.result()
-                    for index in members:
-                        for record in staged[index].records:
-                            registry.add(*record)
-        return [record for reg in staged for record in reg.records]
-
-    def _compile_chunk_traced(self, compile_fn, chunk, label, registry, parent):
-        """Run one chunk compile on a worker thread, nesting its spans
-        under the level span owned by the coordinating thread."""
-        with get_tracer().span("segment.compile", parent=parent, chunk=label):
-            compile_fn(chunk, label, registry)
-
-    def _partition_by_inputs(self, order: List[str]) -> List[List[str]]:
-        """Greedy cone-order partition bounded by external-input count.
-
-        Enumeration cost is ``4^inputs`` regardless of segment size, so
-        segments grow until adding the next gate would push the external
-        input set past the budget.
-        """
-        max_inputs = int(np.log(self.enum_input_states) / np.log(N_STATES))
-        chunks: List[List[str]] = []
-        current: List[str] = []
-        produced: set = set()
-        external: set = set()
-        for line in order:
-            gate = self.circuit.driver(line)
-            new_external = {s for s in gate.inputs if s not in produced}
-            if current and len(external | new_external) > max_inputs:
-                chunks.append(current)
-                current = []
-                produced = set()
-                external = set()
-                new_external = set(gate.inputs)
-            current.append(line)
-            produced.add(line)
-            external |= new_external
-        if current:
-            chunks.append(current)
-        return chunks
-
-    def _compile_enum_chunk(
-        self, chunk: List[str], label: str, registry: _SegmentRegistry
-    ) -> None:
-        """Build an enumeration segment for a chunk.
-
-        Like the junction-tree path, upstream logic is duplicated into
-        the segment (``lookback`` levels) to regenerate reconvergent
-        correlation near the cut; the lookback shrinks until the
-        expanded segment's input count fits the enumeration budget (the
-        unexpanded chunk always fits by construction).
-        """
-        from repro.core.enumeration import EnumerationSegment, SegmentTooWide
-
-        owned = set(chunk)
-        for lookback in range(self.lookback, -1, -1):
-            expanded = self._expand_with_lookback(chunk, lookback)
-            sources = {
-                src for line in expanded for src in self.circuit.driver(line).inputs
-            }
-            lines = sorted(expanded | sources, key=self._position.__getitem__)
-            segment = self.circuit.subcircuit(
-                lines, name=f"{self.circuit.name}.seg{label}"
-            )
-            placeholder, parent_of = self._placeholder_inputs(segment, registry)
-            try:
-                estimator = EnumerationSegment(
-                    segment,
-                    placeholder,
-                    max_input_states=self.enum_input_states,
-                    keep_lines=owned,
-                )
-            except SegmentTooWide:
-                continue
-            registry.add(segment, estimator, owned, parent_of)
-            return
-        raise AssertionError("unexpanded enum chunk must fit its own budget")
-
-    def _split_segment_inputs(
-        self, segment: Circuit
-    ) -> Tuple[List[str], List[str]]:
-        """A segment's input lines, split into (primary, boundary).
-
-        Primary lines are primary inputs of the full circuit and keep
-        the user model's statistics (including correlation CPDs among
-        them); boundary lines are driven by upstream segments and carry
-        refreshed upstream marginals/conditionals.
-        """
-        primary = [
-            name for name in segment.inputs if self.circuit.driver(name) is None
-        ]
-        primary_set = set(primary)
-        boundary = [name for name in segment.inputs if name not in primary_set]
-        return primary, boundary
-
-    def _placeholder_inputs(
-        self, segment: Circuit, registry: _SegmentRegistry
-    ) -> Tuple[InputModel, Dict[str, str]]:
-        """Compile-time input model of a segment.
-
-        The *structure* (which input-to-input CPD edges exist) is baked
-        into the segment's LIDAG here; numbers are refreshed at every
-        :meth:`_propagate_segment`.  Primary inputs take their CPDs from
-        the user model, boundary lines start uniform.
-        """
-        primary, boundary_lines = self._split_segment_inputs(segment)
-        uniform = {name: np.full(N_STATES, 0.25) for name in boundary_lines}
-        if self.boundary == "tree":
-            parent_of = self._boundary_tree_for(segment.inputs, registry)
-            inner: InputModel = TreeBoundaryInputs(uniform, parent_of)
-        else:
-            parent_of = {}
-            inner = FixedMarginalInputs(uniform)
-        return _SegmentInputs(self.input_model, primary, inner), parent_of
-
-    def _boundary_tree_for(
-        self, inputs: Sequence[str], registry: _SegmentRegistry
-    ) -> Dict[str, str]:
-        """Spanning forest over segment inputs whose pairwise joints are
-        available upstream, weighted by shared-fanin-cone size."""
-        import itertools
-
-        import networkx as nx
-
-        by_provider: Dict[int, List[str]] = {}
-        providers: Dict[int, object] = {}
-        for line in inputs:
-            provider = registry.provider_of(line)
-            if provider is not None:
-                by_provider.setdefault(id(provider), []).append(line)
-                providers[id(provider)] = provider
-
-        graph = nx.Graph()
-        for key, lines in by_provider.items():
-            if len(lines) < 2:
-                continue
-            provider_estimator = providers[key]
-            for a, b in itertools.combinations(lines, 2):
-                if self._provider_has_joint(provider_estimator, a, b):
-                    weight = self._cone_overlap(a, b)
-                    if weight > 0:
-                        graph.add_edge(a, b, weight=weight)
-
-        parent_of: Dict[str, str] = {}
-        forest = nx.Graph()
-        forest.add_edges_from(nx.maximum_spanning_edges(graph, data=False))
-        for component in nx.connected_components(forest):
-            root = next(iter(component))
-            for parent, child in nx.bfs_edges(forest, root):
-                parent_of[child] = parent
-        return parent_of
-
-    def _cone_overlap(self, a: str, b: str, depth: int = 8) -> int:
-        """Size of the shared truncated fanin cone -- a cheap structural
-        proxy for the correlation strength of two lines."""
-        return len(self._truncated_cone(a, depth) & self._truncated_cone(b, depth))
-
-    def _truncated_cone(self, line: str, depth: int) -> frozenset:
-        cached = self._cone_cache.get(line)
-        if cached is not None:
-            return cached
-        cone = {line}
-        frontier = {line}
-        for _ in range(depth):
-            next_frontier = set()
-            for ln in frontier:
-                gate = self.circuit.driver(ln)
-                if gate is not None:
-                    next_frontier.update(
-                        src for src in gate.inputs if src not in cone
-                    )
-            cone |= next_frontier
-            frontier = next_frontier
-        result = frozenset(cone)
-        self._cone_cache[line] = result
-        return result
-
-    def _cone_clustered_order(self) -> List[str]:
-        """Gate-output lines in DFS post-order from the primary outputs.
-
-        Post-order is a valid topological order (a gate's sources always
-        precede it) whose contiguous ranges follow output *cones* --
-        narrow vertical slices of the circuit -- rather than full-width
-        level bands.  Chunking this order keeps per-segment moral-graph
-        treewidth near the cone width instead of the circuit width,
-        which is what makes large shallow circuits compile.
-        """
-        visited: set = set()
-        order: List[str] = []
-        roots = list(self.circuit.outputs) + self.circuit.internal_lines
-        for root in roots:
-            if root in visited:
-                continue
-            stack = [(root, False)]
-            while stack:
-                node, expanded = stack.pop()
-                if expanded:
-                    order.append(node)
-                    continue
-                if node in visited:
-                    continue
-                visited.add(node)
-                gate = self.circuit.driver(node)
-                if gate is None:
-                    continue  # primary inputs are not chunked
-                stack.append((node, True))
-                for src in gate.inputs:
-                    if src not in visited:
-                        stack.append((src, False))
-        return order
-
-    def _expand_with_lookback(self, chunk: List[str], lookback: int) -> set:
-        """Chunk lines plus ``lookback`` levels of duplicated upstream gates."""
-        expanded = set(chunk)
-        frontier = set(chunk)
-        for _ in range(lookback):
-            next_frontier = set()
-            for line in frontier:
-                gate = self.circuit.driver(line)
-                if gate is None:
-                    continue
-                for src in gate.inputs:
-                    if src not in expanded and self.circuit.driver(src) is not None:
-                        next_frontier.add(src)
-            expanded |= next_frontier
-            frontier = next_frontier
-        return expanded
-
-    def _compile_chunk(
-        self, chunk: List[str], label: str, lookback: int, registry: _SegmentRegistry
-    ) -> None:
-        """Compile a chunk of gate-output lines, splitting on budget misses.
-
-        On a budget miss the chunk is halved first (quarter-cost
-        retriangulations, lookback accuracy kept); lookback is shed only
-        once the chunk is too small to split usefully.  Finalized
-        segments register in topological order so downstream chunks can
-        see their owners and junction trees.
-        """
-        owned = set(chunk)
-        expanded = self._expand_with_lookback(chunk, lookback)
-        sources = {
-            src
-            for line in expanded
-            for src in self.circuit.driver(line).inputs
-        }
-        lines = sorted(expanded | sources, key=self._position.__getitem__)
-        segment = self.circuit.subcircuit(lines, name=f"{self.circuit.name}.seg{label}")
-        placeholder, parent_of = self._placeholder_inputs(segment, registry)
-        estimator = SwitchingActivityEstimator(
-            segment,
-            input_model=placeholder,
-            heuristic=self.heuristic,
-            max_clique_states=self.max_clique_states,
-            kernel=self.kernel,
-        )
-        try:
-            estimator.compile()
-        except CliqueBudgetExceeded:
-            # High treewidth but few inputs: exploit CPT determinism via
-            # exact support enumeration rather than lossy splitting.
-            if self.enum_input_states:
-                from repro.core.enumeration import EnumerationSegment, SegmentTooWide
-
-                try:
-                    enum_estimator = EnumerationSegment(
-                        segment,
-                        placeholder,
-                        max_input_states=self.enum_input_states,
-                        keep_lines=owned,
-                    )
-                    registry.add(segment, enum_estimator, owned, parent_of)
-                    return
-                except SegmentTooWide:
-                    pass
-            if len(chunk) > 8:
-                mid = len(chunk) // 2
-                self._compile_chunk(chunk[:mid], label + "a", lookback, registry)
-                self._compile_chunk(chunk[mid:], label + "b", lookback, registry)
-                return
-            if lookback > 0:
-                self._compile_chunk(chunk, label, lookback - 1, registry)
-                return
-            if len(chunk) == 1:
-                raise
-            mid = len(chunk) // 2
-            self._compile_chunk(chunk[:mid], label + "a", 0, registry)
-            self._compile_chunk(chunk[mid:], label + "b", 0, registry)
-            return
-        registry.add(segment, estimator, owned, parent_of)
-
-    def __getstate__(self):
-        # The cone cache is a compile-time accelerator that can hold
-        # megabytes of frozensets; compiled artifacts never need it.
-        state = self.__dict__.copy()
-        state.pop("_cone_cache", None)
-        return state
-
-    # ------------------------------------------------------------------
-
-    def update_inputs(self, input_model: InputModel) -> None:
-        """Swap primary-input statistics without recompiling.
-
-        Segment junction trees are reused as-is; the new statistics
-        enter through the boundary refresh at the next :meth:`estimate`
-        (only marginals -- and, in tree mode, pairwise joints -- cross
-        segment cuts, so input correlation models degrade exactly as
-        the paper's segmentation scheme describes).
-        """
-        self.compile()
-        self.input_model = input_model
-
-    def estimate(self) -> SwitchingEstimate:
-        """Propagate marginals segment by segment in topological order.
-
-        With ``parallelism >= 2`` the segments propagate level-by-level
-        over the ownership DAG: all segments of a level run
-        concurrently (their inputs are fully published by lower
-        levels), and the published marginals merge between levels.
-        Each segment's computation sees exactly the inputs it would see
-        serially, so the results are identical.
-        """
-        self.compile()
-        tracer = get_tracer()
-        with tracer.span(
-            "segmented.propagate",
-            circuit=self.circuit.name,
-            segments=len(self._segments),
-            backend="segmented",
-        ) as span:
-            known: Dict[str, np.ndarray] = {
-                name: self.input_model.marginal_distribution(name)
-                for name in self.circuit.inputs
-            }
-            if self.parallelism > 1 and len(self._segments) > 1:
-                from concurrent.futures import ThreadPoolExecutor
-
-                levels = self._segment_levels()
-                with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-                    for level in range(max(levels) + 1):
-                        members = [
-                            i for i, lv in enumerate(levels) if lv == level
-                        ]
-                        with tracer.span(
-                            "segmented.propagate.level",
-                            level=level,
-                            segments=len(members),
-                        ) as level_span:
-                            published = pool.map(
-                                lambda index: self._propagate_segment(
-                                    index, known, parent_span=level_span
-                                ),
-                                members,
-                            )
-                            for result in published:
-                                known.update(result)
-            else:
-                for index in range(len(self._segments)):
-                    known.update(self._propagate_segment(index, known))
-        return SwitchingEstimate(
-            distributions=known,
-            compile_seconds=self.compile_seconds,
-            propagate_seconds=span.duration,
-            method=(
-                Method.SEGMENTED.value
-                if len(self._segments) > 1
-                else Method.SINGLE_BN.value
-            ),
-            segments=len(self._segments),
-        )
-
-    def estimate_many(
-        self, input_models, dtype: str = "float64"
-    ) -> List[SwitchingEstimate]:
-        """Estimate K input-statistics scenarios in one batched sweep.
-
-        Each junction-tree segment propagates all K scenarios in a
-        single vectorized pass (:meth:`SwitchingActivityEstimator.
-        estimate_many`); enumeration segments loop their (already
-        vectorized) support pass per scenario, caching the pair joints
-        downstream boundary trees will need.  The published boundary
-        marginals flow between segments as ``(K, 4)`` stacks, composing
-        with the ``parallelism`` level pipeline exactly like the
-        single-scenario path.  Result ``k`` is bitwise-identical to an
-        independent :meth:`estimate` with scenario ``k``'s model (same
-        caveat as the engine: identical dirty paths, e.g. fresh
-        compiles or sweeps updating every input).  ``self.input_model``
-        is not modified.
-        """
-        models = list(input_models)
-        if not models:
-            return []
-        self.compile()
-        k = len(models)
-        tracer = get_tracer()
-        with tracer.span(
-            "segmented.propagate_many",
-            circuit=self.circuit.name,
-            segments=len(self._segments),
-            scenarios=k,
-            backend="segmented",
-        ) as span:
-            known: Dict[str, np.ndarray] = {
-                name: np.stack(
-                    [m.marginal_distribution(name) for m in models]
-                )
-                for name in self.circuit.inputs
-            }
-            #: (provider index, parent, child) -> (K, 4, 4) pair joints
-            #: captured during enumeration segments' per-scenario loops
-            enum_joints: Dict[Tuple[int, str, str], np.ndarray] = {}
-            needed = self._needed_enum_joints()
-            if self.parallelism > 1 and len(self._segments) > 1:
-                from concurrent.futures import ThreadPoolExecutor
-
-                levels = self._segment_levels()
-                with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-                    for level in range(max(levels) + 1):
-                        members = [
-                            i for i, lv in enumerate(levels) if lv == level
-                        ]
-                        with tracer.span(
-                            "segmented.propagate.level",
-                            level=level,
-                            segments=len(members),
-                        ) as level_span:
-                            published = pool.map(
-                                lambda index: self._propagate_segment_batch(
-                                    index,
-                                    known,
-                                    models,
-                                    needed,
-                                    enum_joints,
-                                    parent_span=level_span,
-                                    dtype=dtype,
-                                ),
-                                members,
-                            )
-                            for result in published:
-                                known.update(result)
-            else:
-                for index in range(len(self._segments)):
-                    known.update(
-                        self._propagate_segment_batch(
-                            index, known, models, needed, enum_joints, dtype=dtype
-                        )
-                    )
-        per_scenario = span.duration / k
-        method = (
-            Method.SEGMENTED.value
-            if len(self._segments) > 1
-            else Method.SINGLE_BN.value
-        )
-        return [
-            SwitchingEstimate(
-                distributions={line: known[line][j] for line in known},
-                compile_seconds=self.compile_seconds,
-                propagate_seconds=per_scenario,
-                method=method,
-                segments=len(self._segments),
-            )
-            for j in range(k)
-        ]
-
-    def _needed_enum_joints(self) -> Dict[int, List[Tuple[str, str]]]:
-        """Per enumeration segment, the (parent, child) boundary pairs
-        downstream tree boundaries will request.  Junction-tree
-        providers answer batched joint queries live and need no cache."""
-        from repro.core.enumeration import EnumerationSegment
-
-        needed: Dict[int, List[Tuple[str, str]]] = {}
-        for parent_of in self._boundary_trees:
-            for child, parent in parent_of.items():
-                provider_index = self._owner.get(child)
-                if provider_index is None:
-                    continue
-                if not isinstance(
-                    self._segments[provider_index][1], EnumerationSegment
-                ):
-                    continue
-                pairs = needed.setdefault(provider_index, [])
-                if (parent, child) not in pairs:
-                    pairs.append((parent, child))
-        return needed
-
-    def _propagate_segment_batch(
-        self,
-        index: int,
-        known: Dict[str, np.ndarray],
-        models: List[InputModel],
-        needed: Dict[int, List[Tuple[str, str]]],
-        enum_joints: Dict[Tuple[int, str, str], np.ndarray],
-        parent_span=None,
-        dtype: str = "float64",
-    ) -> Dict[str, np.ndarray]:
-        """Batched counterpart of :meth:`_propagate_segment`.
-
-        ``known`` maps each published line to a ``(K, 4)`` stack; the
-        returned dict adds this segment's owned lines in the same
-        layout.  ``enum_joints`` collects per-scenario pair joints while
-        an enumeration segment's scenario loop runs, because
-        :meth:`EnumerationSegment.pair_joint` only reflects the last
-        scenario afterwards.
-        """
-        from repro.core.enumeration import EnumerationSegment
-
-        segment, estimator, owned = self._segments[index]
-        k = len(models)
-        with get_tracer().span(
-            "segment.propagate_many",
-            parent=parent_span,
-            segment=segment.name,
-            scenarios=k,
-        ):
-            primary, boundary_lines = self._split_segment_inputs(segment)
-            parent_of = self._boundary_trees[index]
-            conditionals_b: Dict[str, np.ndarray] = {}
-            for child, parent in parent_of.items():
-                conditionals_b[child] = self._boundary_conditional_batch(
-                    child, parent, known[child], enum_joints
-                )
-            scenario_models: List[InputModel] = []
-            for j in range(k):
-                priors = {name: known[name][j] for name in boundary_lines}
-                if parent_of:
-                    boundary: InputModel = TreeBoundaryInputs(
-                        priors,
-                        parent_of,
-                        {child: conditionals_b[child][j] for child in parent_of},
-                    )
-                else:
-                    boundary = FixedMarginalInputs(priors)
-                scenario_models.append(
-                    _SegmentInputs(models[j], primary, boundary)
-                )
-            published = [
-                line for line in segment.internal_lines if line in owned
-            ]
-            if isinstance(estimator, EnumerationSegment):
-                results = []
-                pairs = needed.get(index, [])
-                for j, scenario in enumerate(scenario_models):
-                    estimator.update_inputs(scenario)
-                    results.append(estimator.estimate())
-                    for parent, child in pairs:
-                        key = (index, parent, child)
-                        buffer = enum_joints.get(key)
-                        if buffer is None:
-                            buffer = enum_joints[key] = np.empty(
-                                (k, N_STATES, N_STATES)
-                            )
-                        buffer[j] = estimator.pair_joint(parent, child)
-                return {
-                    line: np.stack([r.distributions[line] for r in results])
-                    for line in published
-                }
-            # Junction-tree segment: the stacked API returns (K, 4)
-            # stacks directly, skipping K per-scenario dicts that would
-            # be re-stacked here anyway.  The extraction set matches the
-            # single path's restricted ``estimate(lines=published)``
-            # exactly -- a different variable set would regroup the per-
-            # clique joint reductions and perturb the last float bit.
-            stacks, _ = estimator.estimate_many_stacked(
-                scenario_models, published, dtype=dtype
-            )
-            return {line: stacks[line] for line in published}
-
-    def _boundary_conditional_batch(
-        self,
-        child: str,
-        parent: str,
-        child_priors: np.ndarray,
-        enum_joints: Dict[Tuple[int, str, str], np.ndarray],
-    ) -> np.ndarray:
-        """Batched ``P(child | parent)``: a ``(K, 4, 4)`` stack whose
-        slice ``k`` mirrors :meth:`_boundary_conditional` for scenario
-        ``k`` bitwise (same division, same near-zero-row fallback to
-        the child's prior)."""
-        from repro.core.enumeration import EnumerationSegment
-
-        provider_index = self._owner[child]
-        provider = self._segments[provider_index][1]
-        if isinstance(provider, EnumerationSegment):
-            joint = enum_joints[(provider_index, parent, child)]
-        else:
-            joint = provider.junction_tree.joint_marginal_batch([parent, child])
-        mass = joint.sum(axis=2)
-        ok = mass > 1e-15
-        safe = np.where(ok, mass, 1.0)
-        rows = joint / safe[:, :, None]
-        return np.where(ok[:, :, None], rows, child_priors[:, None, :])
-
-    def reset_propagation(self) -> None:
-        """Force every segment's next estimate to be a full pass (see
-        :meth:`SwitchingActivityEstimator.reset_propagation`)."""
-        for _, estimator, _ in self._segments:
-            estimator.reset_propagation()
-
-    def _propagate_segment(
-        self,
-        index: int,
-        known: Dict[str, np.ndarray],
-        parent_span=None,
-    ) -> Dict[str, np.ndarray]:
-        """Refresh one segment's boundary inputs, propagate it, and
-        return the distributions of the lines it owns.
-
-        ``known`` is only read (the caller merges the return value), so
-        concurrent calls for independent segments are safe.
-        ``parent_span`` nests this segment's span under the level span
-        when running on a worker thread.
-        """
-        segment, estimator, owned = self._segments[index]
-        with get_tracer().span(
-            "segment.propagate", parent=parent_span, segment=segment.name
-        ):
-            primary, boundary_lines = self._split_segment_inputs(segment)
-            priors = {name: known[name] for name in boundary_lines}
-            parent_of = self._boundary_trees[index]
-            if parent_of:
-                conditionals = {
-                    child: self._boundary_conditional(
-                        child, parent, priors[child]
-                    )
-                    for child, parent in parent_of.items()
-                }
-                boundary: InputModel = TreeBoundaryInputs(
-                    priors, parent_of, conditionals
-                )
-            else:
-                boundary = FixedMarginalInputs(priors)
-            from repro.core.enumeration import EnumerationSegment
-
-            estimator.update_inputs(
-                _SegmentInputs(self.input_model, primary, boundary)
-            )
-            # Only the owned chunk publishes estimates; duplicated
-            # lookback gates exist solely to rebuild local correlation.
-            # Junction-tree segments extract marginals for exactly the
-            # published lines -- anything else would be discarded below.
-            published = [
-                line for line in segment.internal_lines if line in owned
-            ]
-            if isinstance(estimator, EnumerationSegment):
-                result = estimator.estimate()
-            else:
-                result = estimator.estimate(lines=published)
-        return {line: result.distributions[line] for line in published}
-
-    def _segment_levels(self) -> List[int]:
-        """Dependency level per compiled segment: a segment depends on
-        the owners of its boundary input lines."""
-        levels: List[int] = []
-        for index, (segment, _, _) in enumerate(self._segments):
-            deps = {
-                self._owner[line]
-                for line in segment.inputs
-                if line in self._owner and self._owner[line] != index
-            }
-            levels.append(1 + max((levels[d] for d in deps), default=-1))
-        return levels
-
-    @staticmethod
-    def _provider_has_joint(provider_estimator, a: str, b: str) -> bool:
-        """Can the provider supply the joint of two of its lines?"""
-        from repro.core.enumeration import EnumerationSegment
-
-        if isinstance(provider_estimator, EnumerationSegment):
-            return True  # enumeration can join any pair it retained
-        cliques = provider_estimator.junction_tree.cliques
-        pair = {a, b}
-        return any(pair <= clique for clique in cliques)
-
-    def _boundary_conditional(
-        self, child: str, parent: str, child_prior: np.ndarray
-    ) -> np.ndarray:
-        """``P(child | parent)`` from the provider segment; rows with
-        (near-)zero parent probability fall back to the child's marginal."""
-        from repro.core.enumeration import EnumerationSegment
-
-        provider = self._segments[self._owner[child]][1]
-        if isinstance(provider, EnumerationSegment):
-            joint = provider.pair_joint(parent, child)
-        else:
-            joint = provider.junction_tree.joint_marginal([parent, child]).values
-        rows = np.empty((N_STATES, N_STATES))
-        for state in range(N_STATES):
-            mass = joint[state].sum()
-            rows[state] = joint[state] / mass if mass > 1e-15 else child_prior
-        return rows
-
-    # ------------------------------------------------------------------
-
-    @property
-    def num_segments(self) -> int:
-        self.compile()
-        return len(self._segments)
-
-    def propagation_counters(self) -> PropagationCounters:
-        """Engine work counters summed over every junction-tree segment.
-
-        Enumeration segments do no message passing and contribute
-        nothing; before :meth:`compile` the totals are all zero.
-        """
-        totals = PropagationCounters()
-        for _, estimator, _ in self._segments:
-            if isinstance(estimator, SwitchingActivityEstimator):
-                totals.add(estimator.propagation_counters())
-        return totals
-
-    def factor_bytes(self) -> int:
-        """Preallocated propagation-buffer bytes summed over segments."""
-        return sum(
-            estimator.factor_bytes()
-            for _, estimator, _ in self._segments
-            if isinstance(estimator, SwitchingActivityEstimator)
-        )
-
-    def support_stats(self) -> Dict[str, object]:
-        """Support-analysis summary aggregated over junction-tree segments.
-
-        Enumeration segments have no clique tables and contribute
-        nothing; density is feasible/total over the aggregate.
-        """
-        self.compile()
-        totals = {"cliques": 0, "sparse_cliques": 0, "total_states": 0,
-                  "feasible_states": 0}
-        for _, estimator, _ in self._segments:
-            if not isinstance(estimator, SwitchingActivityEstimator):
-                continue
-            stats = estimator.support_stats()
-            for key in totals:
-                totals[key] += stats[key]
-        total = totals["total_states"]
-        return {
-            "kernel": self.kernel,
-            **totals,
-            "support_density": (
-                totals["feasible_states"] / total if total else 1.0
-            ),
-        }
-
-    def segment_stats(self) -> List[Dict[str, float]]:
-        """Junction-tree statistics per segment (for reports/ablations)."""
-        from repro.core.enumeration import EnumerationSegment
-
-        self.compile()
-        stats = []
-        for segment, estimator, owned in self._segments:
-            if isinstance(estimator, EnumerationSegment):
-                entry = dict(estimator.stats())
-                entry["backend"] = "enumeration"
-            else:
-                entry = dict(estimator.junction_tree.stats())
-                entry["backend"] = "junction-tree"
-            entry["gates"] = segment.num_gates
-            entry["owned_gates"] = len(owned)
-            entry["name"] = segment.name
-            stats.append(entry)
-        return stats
+from repro.core.segments.boundary import (
+    BoundaryModel,
+    FixedMarginalInputs,
+    SegmentInputs,
+    TreeBoundaryInputs,
+)
+from repro.core.segments.estimator import SegmentedEstimator
+from repro.core.segments.partition import SegmentGraph, SegmentNode, SegmentRegistry
+
+# Historical private names, kept for callers that reached into them.
+_SegmentInputs = SegmentInputs
+_SegmentRegistry = SegmentRegistry
+
+__all__ = [
+    "BoundaryModel",
+    "FixedMarginalInputs",
+    "SegmentGraph",
+    "SegmentInputs",
+    "SegmentNode",
+    "SegmentRegistry",
+    "SegmentedEstimator",
+    "TreeBoundaryInputs",
+]

@@ -49,6 +49,7 @@ __all__ = [
     "PerfProfileError",
     "PropagationError",
     "ReproError",
+    "SegmentBoundaryError",
     "SegmentTooWide",
     "UndefinedLineError",
     "UnknownBackendError",
@@ -95,6 +96,14 @@ class CombinationalCycleError(CircuitError):
 
 class BenchFormatError(ValidationError):
     """Raised when a ``.bench`` file cannot be parsed."""
+
+
+class SegmentBoundaryError(ValidationError):
+    """A segment boundary model is misconfigured: an unknown
+    ``boundary=`` mode, a boundary forest with a cycle, or a boundary
+    distribution with the wrong shape or mass.  Pre-consolidation these
+    were bare ``ValueError``\\ s out of ``repro.core.segmentation``; the
+    message texts are preserved."""
 
 
 class UnknownCircuitError(ReproError, KeyError):

@@ -305,10 +305,27 @@ _PROPAGATION_ROW_FIELDS = (
     "sparse_speedup",
 )
 
+#: segmentation-report row fields copied into a measurement block; the
+#: names deliberately reuse the propagation vocabulary so the existing
+#: gate rules (min-time band, mean-activity drift, max_abs_error
+#: growth) apply without new metric plumbing.
+_SEGMENTATION_ROW_FIELDS = (
+    "gates",
+    "segments",
+    "glue_edges",
+    "compile_seconds",
+    "repeat_estimate_min_seconds",
+    "mean_activity",
+    "max_abs_error",
+    "refine_iterations",
+    "refine_delta",
+)
+
 
 def ingest_bench_documents(
     propagation: Optional[Dict[str, Any]] = None,
     throughput: Optional[Dict[str, Any]] = None,
+    segmentation: Optional[Dict[str, Any]] = None,
     note: str = "",
 ) -> Dict[str, Any]:
     """Build a profile from already-emitted benchmark reports.
@@ -340,6 +357,20 @@ def ingest_bench_documents(
             block = measurements.setdefault(row["circuit"], {})
             rates = block.setdefault("batched_scenarios_per_sec", {})
             rates[str(row["batch_size"])] = row["batched_scenarios_per_sec"]
+    if segmentation is not None:
+        if segmentation.get("benchmark") != "segmentation":
+            raise PerfProfileError(
+                f"expected a segmentation report, got "
+                f"{segmentation.get('benchmark')!r}"
+            )
+        # One block per (circuit, refine) point: each refine level has
+        # its own timing/accuracy trajectory to gate.
+        for row in segmentation.get("results", []):
+            key = f"{row['circuit']}[refine={row['refine']}]"
+            block = measurements.setdefault(key, {})
+            for field in _SEGMENTATION_ROW_FIELDS:
+                if field in row and row[field] is not None:
+                    block[field] = row[field]
     if not measurements:
         raise PerfProfileError(
             "nothing to ingest: no benchmark rows in the given report(s)"

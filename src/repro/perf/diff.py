@@ -258,6 +258,11 @@ _BENCH_KINDS: Dict[str, Dict[str, Any]] = {
         "key_fields": ("circuit", "batch_size"),
         "higher_is_better": True,
     },
+    "segmentation": {
+        "metric": "repeat_estimate_min_seconds",
+        "key_fields": ("circuit", "refine"),
+        "higher_is_better": False,
+    },
 }
 
 

@@ -23,10 +23,11 @@ Drive it from Python (:func:`run_fuzz`) or the CLI (``repro fuzz``).
 
 from __future__ import annotations
 
+import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +47,7 @@ __all__ = [
     "input_model_from_json",
     "input_model_to_json",
     "make_case",
+    "parse_backend_spec",
     "restrict_model_spec",
     "run_fuzz",
     "shrink_case",
@@ -209,6 +211,56 @@ def make_case(
 
 
 # ----------------------------------------------------------------------
+# Backend specs
+# ----------------------------------------------------------------------
+
+
+def parse_backend_spec(
+    spec: str,
+) -> Tuple[str, Dict[str, Any], Optional[float]]:
+    """Parse a fuzz backend spec into ``(name, options, atol_override)``.
+
+    A spec is either a bare backend name (``"segmented"``) or a name
+    with compile options in call syntax, e.g.
+    ``"segmented(refine=2,max_gates_per_segment=10)"``.  Values are
+    Python literals.  The pseudo-option ``atol=...`` is not forwarded to
+    the compile; it overrides the run-wide tolerance for this spec only,
+    which is how deliberately *approximate* configurations (refined
+    segmentation on circuits that do not fit one exact segment) ride the
+    same differential harness as the exact backends.
+    """
+    spec = spec.strip()
+    if "(" not in spec:
+        return spec, {}, None
+    name, _, rest = spec.partition("(")
+    name = name.strip()
+    if not name or not rest.endswith(")"):
+        raise ReproError(f"malformed backend spec {spec!r}")
+    options: Dict[str, Any] = {}
+    atol: Optional[float] = None
+    body = rest[:-1].strip()
+    for part in body.split(",") if body else []:
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ReproError(
+                f"malformed backend spec {spec!r}: expected key=value, got {part!r}"
+            )
+        try:
+            parsed = ast.literal_eval(value.strip())
+        except (SyntaxError, ValueError) as exc:
+            raise ReproError(
+                f"malformed backend spec {spec!r}: {value.strip()!r} is not a "
+                f"Python literal"
+            ) from exc
+        if key == "atol":
+            atol = float(parsed)
+        else:
+            options[key] = parsed
+    return name, options, atol
+
+
+# ----------------------------------------------------------------------
 # Differential execution
 # ----------------------------------------------------------------------
 
@@ -288,12 +340,14 @@ def _diff_case(
     backends: Sequence[str],
     atol: float,
 ) -> List[Mismatch]:
-    """Run every backend on one case; return all disagreements."""
+    """Run every backend spec on one case; return all disagreements."""
     oracle = exact_switching_by_enumeration(circuit, model)
     mismatches: List[Mismatch] = []
     for backend in backends:
+        name, options, spec_atol = parse_backend_spec(backend)
+        tolerance = atol if spec_atol is None else spec_atol
         try:
-            compiled = compile_model(circuit, model, backend=backend)
+            compiled = compile_model(circuit, model, backend=name, **options)
             result = compiled.query(model)
         except Exception as exc:  # crashes are findings, not aborts
             mismatches.append(
@@ -315,7 +369,7 @@ def _diff_case(
             err = float(np.abs(np.asarray(got) - expected).max())
             if err > worst:
                 worst_line, worst = line, err
-        if worst > atol:
+        if worst > tolerance:
             mismatches.append(
                 Mismatch(backend=backend, line=worst_line, max_abs_error=worst)
             )
@@ -410,9 +464,13 @@ def run_fuzz(
         Upper bounds on generated circuit size (``max_inputs`` also
         bounds the ``4^n`` oracle cost; keep it <= 8).
     backends:
-        Backend names to compare against the oracle.
+        Backend names -- or specs with compile options and an optional
+        per-spec tolerance, e.g. ``"segmented(refine=2,
+        max_gates_per_segment=10, atol=0.5)"`` (see
+        :func:`parse_backend_spec`) -- to compare against the oracle.
     atol:
-        Per-entry tolerance on each line's 4-state distribution.
+        Per-entry tolerance on each line's 4-state distribution
+        (overridden per spec by an ``atol=...`` pseudo-option).
     out_dir:
         Where reproducers for failing (shrunk) cases are written;
         ``None`` disables reproducer emission.

@@ -57,4 +57,6 @@ class TestSuite:
     def test_available_circuits_order(self):
         names = suite.available_circuits()
         assert names[0] == "c17"
-        assert names == suite.FULL_SUITE
+        # Table 1 row order first, then the segmentation scale tier.
+        assert names[: len(suite.FULL_SUITE)] == suite.FULL_SUITE
+        assert names[len(suite.FULL_SUITE):] == suite.SCALE_SUITE

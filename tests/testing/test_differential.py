@@ -16,7 +16,8 @@ from repro.testing import (
     make_case,
     run_fuzz,
 )
-from repro.testing.differential import restrict_model_spec
+from repro.errors import ReproError
+from repro.testing.differential import parse_backend_spec, restrict_model_spec
 
 
 class TestCaseGeneration:
@@ -73,6 +74,49 @@ class TestCleanRun:
     def test_summary_mentions_scale(self):
         report = run_fuzz(seeds=2, max_gates=8, max_inputs=3)
         assert "2 seed(s)" in report.summary()
+
+
+class TestBackendSpecs:
+    def test_bare_name(self):
+        assert parse_backend_spec("segmented") == ("segmented", {}, None)
+
+    def test_options_and_atol(self):
+        name, options, atol = parse_backend_spec(
+            "segmented(refine=2, max_gates_per_segment=10, atol=0.5)"
+        )
+        assert name == "segmented"
+        assert options == {"refine": 2, "max_gates_per_segment": 10}
+        assert atol == 0.5
+
+    def test_string_values(self):
+        name, options, atol = parse_backend_spec("segmented(boundary='tree')")
+        assert options == {"boundary": "tree"}
+        assert atol is None
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["segmented(refine=2", "(refine=2)", "segmented(refine)", "segmented(x=!)"],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ReproError, match="malformed backend spec"):
+            parse_backend_spec(spec)
+
+    def test_refined_segmented_rides_the_harness(self, tmp_path):
+        # Small segments force real cuts, so this configuration is
+        # genuinely approximate; the per-spec atol keeps it a sanity
+        # gate (bounded error, no crash) rather than an exactness one.
+        report = run_fuzz(
+            seeds=4,
+            max_gates=25,
+            max_inputs=5,
+            backends=(
+                "junction-tree",
+                "segmented(refine=2, max_gates_per_segment=8, "
+                "lookback=1, atol=0.75)",
+            ),
+            out_dir=tmp_path,
+        )
+        assert report.ok, report.summary()
 
 
 class _OffByEpsilonModel(CompiledModel):
