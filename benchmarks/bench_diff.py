@@ -57,16 +57,22 @@ def compare(
     new_doc: Dict,
     noise_band: float = 0.25,
     floor_seconds: float = 0.001,
+    allow_missing: bool = False,
 ) -> List[Dict[str, object]]:
     """Row-by-row comparison; returns one record per common row.
 
     Each record carries ``key``, ``metric``, ``old``, ``new``,
-    ``ratio`` (new/old) and ``status`` (``"ok"``, ``"regression"`` or
-    ``"skipped"`` for below-floor timing rows).  Raises
-    :class:`BenchDiffError` when the reports cannot be compared.
+    ``ratio`` (new/old) and ``status`` (``"ok"``, ``"regression"``,
+    ``"skipped"`` for below-floor timing rows, or ``"missing"`` under
+    ``allow_missing``).  Raises :class:`BenchDiffError` when the
+    reports cannot be compared.
     """
     return compare_bench_documents(
-        old_doc, new_doc, noise_band=noise_band, floor_seconds=floor_seconds
+        old_doc,
+        new_doc,
+        noise_band=noise_band,
+        floor_seconds=floor_seconds,
+        allow_missing=allow_missing,
     )
 
 
@@ -81,6 +87,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--floor-seconds", type=float, default=0.001,
         help="timing rows where both sides are below this are skipped",
+    )
+    parser.add_argument(
+        "--subset", action="store_true",
+        help="tolerate baseline rows absent from the new report "
+             "(quick regeneration vs. a fuller committed baseline)",
     )
     args = parser.parse_args(argv)
 
@@ -98,6 +109,7 @@ def main(argv=None) -> int:
             new_doc,
             noise_band=args.noise_band,
             floor_seconds=args.floor_seconds,
+            allow_missing=args.subset,
         )
     except BenchDiffError as exc:
         print(f"bench_diff: {exc}", file=sys.stderr)
@@ -106,7 +118,9 @@ def main(argv=None) -> int:
     worst = 0
     for record in records:
         key = ",".join(str(part) for part in record["key"])
-        flag = {"ok": " ", "skipped": "~", "regression": "!"}[record["status"]]
+        flag = {"ok": " ", "skipped": "~", "regression": "!", "missing": "?"}[
+            record["status"]
+        ]
         print(
             f"{flag} {key:>16s}  {record['metric']}  "
             f"old {record['old']:12.6g}  new {record['new']:12.6g}  "

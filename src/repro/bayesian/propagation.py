@@ -80,15 +80,49 @@ cliques).
 
 from __future__ import annotations
 
+import functools
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.bayesian.factor import Factor
-from repro.errors import ZeroBeliefError
+from repro.errors import ConcurrentPropagationError, ZeroBeliefError
 from repro.obs.metrics import get_metrics
 
 __all__ = ["PropagationCounters", "PropagationSchedule", "PropagationEngine"]
+
+
+def _exclusive(method):
+    """Reentrancy tripwire for the buffer-mutating engine entry points.
+
+    The engine's belief/message buffers are preallocated and updated in
+    place, so two threads inside one engine silently corrupt each
+    other's results.  This guard is *detection, not synchronization*: a
+    second thread entering while another holds the guard gets an
+    immediate typed :class:`ConcurrentPropagationError` instead of
+    blocking (blocking would just serialize the corruption-free case
+    while hiding the sharing bug).  Callers that want concurrency give
+    each thread its own engine -- see ``repro.serve``'s per-model
+    engine pool.  One uncontended ``Lock.acquire`` per *call* (not per
+    message), so the single-thread cost is noise.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if not self._guard.acquire(blocking=False):
+            raise ConcurrentPropagationError(
+                f"concurrent PropagationEngine.{method.__name__}: another "
+                "thread is inside this engine and the preallocated "
+                "belief/message buffers are mutated in place; use one "
+                "engine per thread (e.g. repro.serve's engine pool)"
+            )
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            self._guard.release()
+
+    return wrapper
 
 
 def _reduction_plan(shape: Tuple[int, ...], keep_axes: Sequence[int]):
@@ -709,6 +743,9 @@ class PropagationEngine:
         self._marginal_plans: Dict[Tuple[int, Tuple[int, ...]], tuple] = {}
         self._dirty: Set[int] = set(range(n))
         self._ever_propagated = False
+        #: reentrancy tripwire (see :func:`_exclusive`); never held
+        #: across calls, so pickling drops and recreates it.
+        self._guard = threading.Lock()
         #: always-on work counters (cheap int adds; see PropagationCounters)
         self.counters = PropagationCounters()
         #: counter totals already mirrored into the global registry
@@ -738,10 +775,22 @@ class PropagationEngine:
             else []
         )
 
+    def __getstate__(self):
+        # Locks do not pickle; the guard is never held across calls, so
+        # dropping it here and recreating it on load is exact.
+        state = dict(self.__dict__)
+        del state["_guard"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._guard = threading.Lock()
+
     # ------------------------------------------------------------------
     # Potential updates
     # ------------------------------------------------------------------
 
+    @_exclusive
     def set_potential(self, idx: int, potential: Factor) -> None:
         """Install clique ``idx``'s potential and mark it dirty.
 
@@ -778,6 +827,7 @@ class PropagationEngine:
             values = values.reshape(-1)[sp.flat_idx]
         self._install_psi(idx, values)
 
+    @_exclusive
     def set_potential_batch(self, idx: int, values: np.ndarray) -> None:
         """Install per-scenario potentials for clique ``idx``.
 
@@ -864,6 +914,7 @@ class PropagationEngine:
             np.take(msg, sp.gathers[child], axis=-1, out=scratch)
             np.multiply(beta, scratch, out=beta)
 
+    @_exclusive
     def propagate(self) -> None:
         """Collect + distribute, touching only dirty-reachable messages."""
         if not self._dirty and self._ever_propagated:
@@ -1111,6 +1162,7 @@ class PropagationEngine:
     def clique_total(self, idx: int) -> float:
         return float(self._beta[idx].sum())
 
+    @_exclusive
     def marginals(
         self, variables: Sequence[str], skip_zero: bool = False
     ) -> Dict[str, np.ndarray]:
@@ -1213,6 +1265,7 @@ class PropagationEngine:
                 out[var] = result
         return out
 
+    @_exclusive
     def joint_marginal(self, idx: int, variables: Sequence[str]) -> np.ndarray:
         """Normalized joint over ``variables`` from clique ``idx``, batched.
 

@@ -443,6 +443,76 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> None:
+    """Run the resident estimation server until SIGTERM/SIGINT."""
+    from repro.serve import EstimationServer, ServerConfig
+    from repro.serve.server import install_signal_handlers
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        options={"kernel": args.kernel} if args.kernel else {},
+        cache=_resolve_cli_cache(args),
+        max_models=args.max_models,
+        engines_per_model=args.engines_per_model,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        workers=args.workers,
+    )
+    server = EstimationServer(config)
+    install_signal_handlers(server)
+    print(
+        f"repro-serve listening on {server.address} "
+        f"(max_batch={config.max_batch}, linger={config.linger_ms}ms, "
+        f"engines/model={config.engines_per_model})",
+        flush=True,
+    )
+    server.serve_forever()
+    server.close()
+    print("repro-serve: shut down cleanly")
+
+
+def _cmd_client(args) -> int:
+    """Load-generate against a running server (or just scrape it)."""
+    from repro.obs import validate_report
+    from repro.serve import ServeClient, run_load
+
+    if args.check_metrics:
+        report = ServeClient(args.url, timeout=args.timeout).metrics()
+        validate_report(report)  # raises ObsError on schema violations
+        groups = report.get("metrics", {})
+        total = sum(len(v) for v in groups.values() if isinstance(v, dict))
+        print(
+            f"metrics report valid: schema {report['schema']}, "
+            f"{total} metric(s), "
+            f"{report['meta']['pool']['resident']} resident model(s)"
+        )
+        return 0
+
+    if args.quick:
+        args.concurrency, args.requests = 4, 24
+    report = run_load(
+        args.url,
+        args.circuit,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        requests=args.requests,
+        rate=args.rate,
+        salt=args.salt,
+        backend=args.backend or None,
+        detail=args.detail,
+        timeout=args.timeout,
+    )
+    row = report.to_row()
+    cols = list(row.keys())
+    print(format_table(cols, rows_from_dicts([row], cols), title="Load run"))
+    if report.errors:
+        print(f"first error: {report.first_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _load_bench_json(path: str, kind: str) -> dict:
     try:
         with open(path) as fh:
@@ -463,7 +533,12 @@ def _cmd_perf_record(args) -> None:
         write_history,
     )
 
-    if args.from_propagation or args.from_throughput or args.from_segmentation:
+    if (
+        args.from_propagation
+        or args.from_throughput
+        or args.from_segmentation
+        or args.from_serving
+    ):
         profile = ingest_bench_documents(
             propagation=(
                 _load_bench_json(args.from_propagation, "propagation")
@@ -478,6 +553,11 @@ def _cmd_perf_record(args) -> None:
             segmentation=(
                 _load_bench_json(args.from_segmentation, "segmentation")
                 if args.from_segmentation
+                else None
+            ),
+            serving=(
+                _load_bench_json(args.from_serving, "serving")
+                if args.from_serving
                 else None
             ),
             note=args.note,
@@ -777,6 +857,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pz.set_defaults(func=_cmd_fuzz)
 
+    pv = sub.add_parser(
+        "serve",
+        help="run the resident estimation server (HTTP/JSON, dynamic batching)",
+    )
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=8337)
+    pv.add_argument("--backend", default="auto",
+                    help="default backend for /estimate (default: auto)")
+    pv.add_argument("--kernel", choices=["auto", "dense", "sparse"],
+                    default=None, help="propagation kernel for every compile")
+    pv.add_argument("--max-models", type=int, default=8,
+                    help="LRU ceiling on resident compiled models (default: 8)")
+    pv.add_argument("--engines-per-model", type=int, default=2,
+                    help="engine replicas per model (default: 2)")
+    pv.add_argument("--max-batch", type=int, default=16,
+                    help="scenario ceiling per coalesced propagation "
+                         "(1 = unbatched; default: 16)")
+    pv.add_argument("--linger-ms", type=float, default=2.0,
+                    help="how long a non-full batch waits for company "
+                         "(default: 2.0)")
+    pv.add_argument("--workers", type=int, default=2,
+                    help="batch drain threads (default: 2)")
+    pv.add_argument("--no-cache", action="store_true",
+                    help="skip the on-disk compile cache")
+    pv.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="compile cache directory (default: $REPRO_CACHE_DIR)")
+    pv.set_defaults(func=_cmd_serve)
+
+    pg = sub.add_parser(
+        "client",
+        help="drive a running estimation server: load-generate or scrape",
+    )
+    pg.add_argument("--url", default="http://127.0.0.1:8337")
+    pg.add_argument("--circuit", default="c17",
+                    help="suite name or .bench path (default: c17)")
+    pg.add_argument("--mode", choices=["closed", "open"], default="closed",
+                    help="closed: send-receive loops; open: fixed arrival rate")
+    pg.add_argument("--concurrency", type=int, default=8)
+    pg.add_argument("--requests", type=int, default=100)
+    pg.add_argument("--rate", type=float, default=50.0,
+                    help="open-loop arrivals per second (default: 50)")
+    pg.add_argument("--salt", type=float, default=0.0,
+                    help="scenario stream offset (default: 0)")
+    pg.add_argument("--backend", default=None)
+    pg.add_argument("--detail", choices=["mean", "activities", "distributions"],
+                    default=None, help="response payload detail level")
+    pg.add_argument("--timeout", type=float, default=60.0)
+    pg.add_argument("--quick", action="store_true",
+                    help="CI smoke configuration: 4 workers, 24 requests")
+    pg.add_argument("--check-metrics", action="store_true",
+                    help="scrape /metrics, validate the repro.obs report, exit")
+    pg.set_defaults(func=_cmd_client)
+
     pp = sub.add_parser(
         "perf", help="record, inspect and diff performance profiles"
     )
@@ -825,6 +958,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--from-segmentation", default=None, metavar="FILE",
         help="ingest a BENCH_segmentation.json instead of measuring",
+    )
+    pr.add_argument(
+        "--from-serving", default=None, metavar="FILE",
+        help="ingest a BENCH_serving.json instead of measuring",
     )
     pr.add_argument(
         "--note", default="", metavar="TEXT",

@@ -32,6 +32,7 @@ from repro.core.backend.base import Backend, CompiledModel, Method
 from repro.core.backend.errors import CliqueBudgetExceeded
 from repro.core.estimator import SwitchingActivityEstimator, SwitchingEstimate
 from repro.core.inputs import IndependentInputs, InputModel
+from repro.errors import ZeroBeliefError
 from repro.core.segmentation import SegmentedEstimator
 from repro.obs.trace import get_tracer
 
@@ -83,6 +84,12 @@ class EstimatorCompiledModel(CompiledModel):
         ``batch_size x`` the single-query engine footprint.
         ``dtype="float32"`` runs propagating estimators' batch buffers
         in float32 (ignored by estimators without a dtype knob).
+
+        A :class:`ZeroBeliefError` escaping a chunk is re-raised with
+        its ``batch_indices`` rebased to the *caller's* scenario
+        numbering: the estimator only ever sees one chunk, so its
+        indices are chunk-local, and reporting those for any chunk but
+        the first would point the caller at the wrong scenarios.
         """
         models = list(inputs_list)
         if not models:
@@ -108,9 +115,19 @@ class EstimatorCompiledModel(CompiledModel):
             batch=chunk,
         ):
             for start in range(0, len(models), chunk):
-                results.extend(
-                    estimate_many(models[start : start + chunk], **kwargs)
-                )
+                try:
+                    results.extend(
+                        estimate_many(models[start : start + chunk], **kwargs)
+                    )
+                except ZeroBeliefError as err:
+                    local = getattr(err, "batch_indices", None)
+                    if local:
+                        err.batch_indices = tuple(start + i for i in local)
+                        err.args = (
+                            "cannot normalize a zero belief for batch "
+                            f"elements {list(err.batch_indices)}",
+                        ) + err.args[1:]
+                    raise
         return results
 
     @property

@@ -275,11 +275,19 @@ class SwitchingActivityEstimator:
 
         Benchmarks and oracles use this to force complete propagations
         (a full pass is a pure function of the potentials, so two full
-        passes over equal inputs agree bitwise); normal callers never
-        need it.
+        passes over equal inputs agree bitwise); ``repro.serve`` resets
+        checked-out replicas before every batch for the same reason --
+        responses must not depend on what the replica served before.
+        Covers the batched engine too: a reused batch engine's cached
+        clean-subtree messages would otherwise make the next sweep a
+        dirty-path pass.
         """
-        if self._jt is not None and self._jt._engine is not None:
+        if self._jt is None:
+            return
+        if self._jt._engine is not None:
             self._jt._engine.mark_all_dirty()
+        if self._jt._batch_engine is not None:
+            self._jt._batch_engine.mark_all_dirty()
 
     def propagation_counters(self) -> PropagationCounters:
         """Cumulative engine work counters for this estimator's tree."""

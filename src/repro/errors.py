@@ -42,6 +42,7 @@ __all__ = [
     "CliqueBudgetExceeded",
     "CombinationalCycleError",
     "CompileError",
+    "ConcurrentPropagationError",
     "DuplicateDefinitionError",
     "FallbackExhausted",
     "InputModelError",
@@ -170,6 +171,15 @@ class ZeroBeliefError(PropagationError, ZeroDivisionError):
     """Normalizing a belief with zero total mass (impossible evidence or
     annihilated potentials).  Also a :class:`ZeroDivisionError`, which
     the pre-consolidation normalization code raised."""
+
+
+class ConcurrentPropagationError(PropagationError):
+    """Two threads entered one :class:`PropagationEngine` at the same
+    time.  The engine's belief/message buffers are preallocated and
+    mutated in place, so overlapping calls silently corrupt each
+    other's results; the engine refuses instead of corrupting.  Give
+    each thread its own engine -- ``repro.serve`` checks replicas out
+    of a per-model pool for exactly this reason."""
 
 
 class ArtifactSchemaError(ReproError, RuntimeError):

@@ -326,6 +326,7 @@ def ingest_bench_documents(
     propagation: Optional[Dict[str, Any]] = None,
     throughput: Optional[Dict[str, Any]] = None,
     segmentation: Optional[Dict[str, Any]] = None,
+    serving: Optional[Dict[str, Any]] = None,
     note: str = "",
 ) -> Dict[str, Any]:
     """Build a profile from already-emitted benchmark reports.
@@ -371,6 +372,21 @@ def ingest_bench_documents(
             for field in _SEGMENTATION_ROW_FIELDS:
                 if field in row and row[field] is not None:
                     block[field] = row[field]
+    if serving is not None:
+        if serving.get("benchmark") != "serving":
+            raise PerfProfileError(
+                f"expected a serving report, got "
+                f"{serving.get('benchmark')!r}"
+            )
+        # Mirrors the throughput shape: a rate dict per circuit, keyed
+        # by the serving configuration so batched and unbatched rates
+        # at each concurrency gate independently.
+        for row in serving.get("results", []):
+            block = measurements.setdefault(row["circuit"], {})
+            rates = block.setdefault("serving_scenarios_per_sec", {})
+            rates[f"{row['mode']}@c{row['concurrency']}"] = row[
+                "scenarios_per_sec"
+            ]
     if not measurements:
         raise PerfProfileError(
             "nothing to ingest: no benchmark rows in the given report(s)"

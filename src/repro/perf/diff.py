@@ -263,6 +263,11 @@ _BENCH_KINDS: Dict[str, Dict[str, Any]] = {
         "key_fields": ("circuit", "refine"),
         "higher_is_better": False,
     },
+    "serving": {
+        "metric": "scenarios_per_sec",
+        "key_fields": ("circuit", "mode", "concurrency"),
+        "higher_is_better": True,
+    },
 }
 
 
@@ -275,6 +280,7 @@ def compare_bench_documents(
     new_doc: Dict,
     noise_band: float = 0.25,
     floor_seconds: float = 0.001,
+    allow_missing: bool = False,
 ) -> List[Dict[str, Any]]:
     """Compare two raw benchmark reports row by row.
 
@@ -284,6 +290,12 @@ def compare_bench_documents(
     cover the committed baseline), and unknown/mismatched benchmark
     kinds raise.  All failures are :class:`~repro.errors.PerfDiffError`
     (exit code 2 at the CLI).
+
+    ``allow_missing=True`` relaxes only the coverage rule: baseline
+    rows absent from the new report become ``"missing"`` records
+    instead of an error (the profile gate's quick-mode idiom) -- for
+    gating a CI-sized regeneration against a fuller committed
+    baseline.  At least one row must still be comparable.
     """
     old_kind = old_doc.get("benchmark")
     new_kind = new_doc.get("benchmark")
@@ -337,10 +349,23 @@ def compare_bench_documents(
             )
         records.append(record)
     if missing:
-        raise PerfDiffError(
-            f"rows present in the old report are missing from the new one: "
-            f"{missing}"
-        )
-    if not records:
+        if not allow_missing:
+            raise PerfDiffError(
+                f"rows present in the old report are missing from the new "
+                f"one: {missing}"
+            )
+        for key in missing:
+            records.append(
+                {
+                    "key": key,
+                    "metric": metric,
+                    "old": float("nan"),
+                    "new": float("nan"),
+                    "ratio": float("nan"),
+                    "band": noise_band,
+                    "status": "missing",
+                }
+            )
+    if not any(r["status"] != "missing" for r in records):
         raise PerfDiffError("no comparable rows between the two reports")
     return records

@@ -1,0 +1,41 @@
+"""Resident estimation service: hot models, dynamic batching, metrics.
+
+Every ``repro estimate`` invocation pays process startup plus compile
+(or compile-cache deserialization) before the first propagation.  This
+package keeps the compiled half of the paper's *compile once,
+re-propagate in milliseconds* bargain resident:
+
+- :mod:`repro.serve.pool` -- an LRU-managed in-memory pool of
+  :class:`~repro.core.backend.base.CompiledModel` artifacts keyed by
+  the compile-cache fingerprint, each with a pool of *engine replicas*
+  so no two in-flight requests ever share propagation buffers.
+- :mod:`repro.serve.batcher` -- inference-server-style dynamic
+  batching: concurrent clients' scenarios for one model coalesce into
+  a single batched ``query_many`` propagation (configurable max batch
+  ``K`` and max linger).
+- :mod:`repro.serve.server` -- a stdlib-only HTTP/JSON front end
+  (``http.server``) with a ``/metrics`` endpoint exporting the
+  ``repro.obs`` registry plus per-endpoint latency histograms.
+- :mod:`repro.serve.client` -- a matching client and a closed-/open-
+  loop load generator feeding ``benchmarks/bench_serving.py``.
+
+Start one with ``repro serve``; drive it with ``repro client``.
+"""
+
+from repro.serve.batcher import BatchStats, DynamicBatcher
+from repro.serve.client import LoadReport, ServeClient, run_load
+from repro.serve.pool import EnginePool, ModelPool, PooledModel
+from repro.serve.server import EstimationServer, ServerConfig
+
+__all__ = [
+    "BatchStats",
+    "DynamicBatcher",
+    "EnginePool",
+    "EstimationServer",
+    "LoadReport",
+    "ModelPool",
+    "PooledModel",
+    "ServeClient",
+    "ServerConfig",
+    "run_load",
+]

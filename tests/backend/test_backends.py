@@ -186,3 +186,56 @@ def test_backend_name_threaded_into_spans():
     finally:
         obs.disable()
         obs.reset()
+
+
+class TestQueryManyChunkErrors:
+    """``query_many`` chunking must rebase ``ZeroBeliefError`` indices.
+
+    The estimator only ever sees one chunk, so its ``batch_indices``
+    are chunk-local; a failure in any chunk but the first used to be
+    reported with the *wrong* scenario numbers.
+    """
+
+    def _model_with_failing_chunk(self, failing_global_index, chunk):
+        from repro.errors import ZeroBeliefError
+
+        model = compile_model(c17(), backend="junction-tree")
+        real = model.estimator.estimate_many
+        calls = {"start": 0}
+
+        def flaky(models, **kwargs):
+            start = calls["start"]
+            calls["start"] += len(models)
+            local = failing_global_index - start
+            if 0 <= local < len(models):
+                err = ZeroBeliefError(
+                    f"cannot normalize a zero belief for batch "
+                    f"elements [{local}]"
+                )
+                err.batch_indices = (local,)
+                raise err
+            return real(models, **kwargs)
+
+        model.estimator.estimate_many = flaky
+        return model
+
+    def test_second_chunk_failure_reports_original_index(self):
+        from repro.errors import ZeroBeliefError
+
+        model = self._model_with_failing_chunk(failing_global_index=5, chunk=3)
+        scenarios = [IndependentInputs(0.1 * (i + 1)) for i in range(7)]
+        with pytest.raises(ZeroBeliefError) as excinfo:
+            model.query_many(scenarios, batch_size=3)
+        # Scenario 5 lives at local index 2 of chunk 2; the caller must
+        # see 5, not 2.
+        assert excinfo.value.batch_indices == (5,)
+        assert "5" in str(excinfo.value)
+
+    def test_first_chunk_failure_indices_unchanged(self):
+        from repro.errors import ZeroBeliefError
+
+        model = self._model_with_failing_chunk(failing_global_index=1, chunk=4)
+        scenarios = [IndependentInputs(0.1 * (i + 1)) for i in range(8)]
+        with pytest.raises(ZeroBeliefError) as excinfo:
+            model.query_many(scenarios, batch_size=4)
+        assert excinfo.value.batch_indices == (1,)
