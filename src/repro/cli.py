@@ -294,6 +294,7 @@ def _cmd_sweep(args) -> None:
         cache=_resolve_cli_cache(args),
         batch_size=args.batch,
         dtype=args.dtype,
+        sweep_mode=args.sweep_mode,
         **kernel_opts,
         **_refine_opts(args),
     )
@@ -302,7 +303,8 @@ def _cmd_sweep(args) -> None:
     batch_note = args.batch if args.batch else len(models)
     print(
         f"{circuit.name}: {circuit.num_gates} gates, {len(models)} scenario(s), "
-        f"batch {batch_note}, method {results[0].method}, cache {cache_note}"
+        f"batch {batch_note}, sweep {args.sweep_mode}, "
+        f"method {results[0].method}, cache {cache_note}"
     )
     rows = [
         (k, f"{r.mean_activity():.6f}", f"{r.propagate_seconds * 1e3:.2f}")
@@ -459,13 +461,15 @@ def _cmd_serve(args) -> None:
         max_batch=args.max_batch,
         linger_ms=args.linger_ms,
         workers=args.workers,
+        result_cache_entries=0 if args.no_result_cache else args.result_cache_entries,
     )
     server = EstimationServer(config)
     install_signal_handlers(server)
     print(
         f"repro-serve listening on {server.address} "
         f"(max_batch={config.max_batch}, linger={config.linger_ms}ms, "
-        f"engines/model={config.engines_per_model})",
+        f"engines/model={config.engines_per_model}, "
+        f"result_cache={config.result_cache_entries})",
         flush=True,
     )
     server.serve_forever()
@@ -503,6 +507,7 @@ def _cmd_client(args) -> int:
         backend=args.backend or None,
         detail=args.detail,
         timeout=args.timeout,
+        workload=args.workload,
     )
     row = report.to_row()
     cols = list(row.keys())
@@ -774,6 +779,13 @@ def build_parser() -> argparse.ArgumentParser:
              "relative tolerance",
     )
     pw.add_argument(
+        "--sweep-mode", choices=["auto", "batched", "delta"], default="batched",
+        dest="sweep_mode",
+        help="delta mode dedups equal scenarios and runs similar ones as an "
+             "incremental chain (bitwise-equal to batched); auto picks delta "
+             "only when the sweep has exploitable structure",
+    )
+    pw.add_argument(
         "--refine", type=int, default=0, metavar="N",
         help="segmented backend: up to N iterative boundary-refinement "
              "passes over the segment graph (default: 0, off)",
@@ -879,6 +891,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: 2.0)")
     pv.add_argument("--workers", type=int, default=2,
                     help="batch drain threads (default: 2)")
+    pv.add_argument("--result-cache-entries", type=int, default=4096,
+                    dest="result_cache_entries", metavar="N",
+                    help="LRU capacity of the fingerprint-keyed result cache "
+                         "(exact scenario repeats replay without propagating)")
+    pv.add_argument("--no-result-cache", action="store_true",
+                    help="disable result caching (every request propagates)")
     pv.add_argument("--no-cache", action="store_true",
                     help="skip the on-disk compile cache")
     pv.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -898,6 +916,10 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument("--requests", type=int, default=100)
     pg.add_argument("--rate", type=float, default=50.0,
                     help="open-loop arrivals per second (default: 50)")
+    pg.add_argument("--workload", default="uniform", metavar="SPEC",
+                    help="scenario stream: uniform (all distinct), zipf:A, "
+                         "hotspot:P, or burst:N (skewed streams repeat "
+                         "scenarios and exercise the server's result cache)")
     pg.add_argument("--salt", type=float, default=0.0,
                     help="scenario stream offset (default: 0)")
     pg.add_argument("--backend", default=None)

@@ -29,6 +29,7 @@ from repro.core.inputs import (
     TraceInputs,
 )
 from repro.core.lidag import build_lidag, lidag_node_ordering
+from repro.core.rcache import ResultCache, scenario_digest
 from repro.core.segmentation import SegmentedEstimator
 from repro.core.sequential import SequentialEstimate, SequentialSwitchingEstimator
 from repro.core.states import (
@@ -44,6 +45,7 @@ __all__ = [
     "InputModel",
     "N_STATES",
     "STATE_NAMES",
+    "ResultCache",
     "SegmentedEstimator",
     "SequentialEstimate",
     "SequentialSwitchingEstimator",
@@ -55,5 +57,6 @@ __all__ = [
     "build_lidag",
     "exact_switching_by_enumeration",
     "lidag_node_ordering",
+    "scenario_digest",
     "switching_probability",
 ]

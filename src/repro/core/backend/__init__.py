@@ -48,6 +48,7 @@ __all__ = [
     "UnknownBackendError",
     "available_backends",
     "circuit_fingerprint",
+    "compile_fingerprint",
     "compile_model",
     "default_cache_dir",
     "estimate",
@@ -63,6 +64,7 @@ _LAZY = {
     "CompileCache": "repro.core.backend.cache",
     "available_backends": "repro.core.backend.registry",
     "circuit_fingerprint": "repro.core.backend.cache",
+    "compile_fingerprint": "repro.core.backend.cache",
     "compile_model": "repro.core.backend.facade",
     "default_cache_dir": "repro.core.backend.cache",
     "estimate": "repro.core.backend.facade",

@@ -74,6 +74,7 @@ class EstimatorCompiledModel(CompiledModel):
         inputs_list: "list[InputModel]",
         batch_size: Optional[int] = None,
         dtype: Optional[str] = None,
+        sweep_mode: Optional[str] = None,
     ) -> "list[SwitchingEstimate]":
         """Vectorized sweep: K scenarios through one batched propagation.
 
@@ -84,6 +85,10 @@ class EstimatorCompiledModel(CompiledModel):
         ``batch_size x`` the single-query engine footprint.
         ``dtype="float32"`` runs propagating estimators' batch buffers
         in float32 (ignored by estimators without a dtype knob).
+        ``sweep_mode`` forwards the delta-sweep planner selection to
+        estimators that accept it (ignored elsewhere); note the planner
+        sees one chunk at a time, so dedup/chaining only spans scenarios
+        within the same ``batch_size`` chunk.
 
         A :class:`ZeroBeliefError` escaping a chunk is re-raised with
         its ``batch_indices`` rebased to the *caller's* scenario
@@ -97,14 +102,19 @@ class EstimatorCompiledModel(CompiledModel):
         estimate_many = getattr(self.estimator, "estimate_many", None)
         if estimate_many is None:
             return super().query_many(models, batch_size=batch_size)
-        # Only forward a non-default dtype, and only to estimators that
-        # take one (EnumerationSegment.estimate_many does not).
+        # Only forward non-default knobs, and only to estimators that
+        # take them (EnumerationSegment.estimate_many takes neither).
         kwargs = {}
         if dtype is not None and dtype != "float64":
             import inspect
 
             if "dtype" in inspect.signature(estimate_many).parameters:
                 kwargs["dtype"] = dtype
+        if sweep_mode is not None and sweep_mode != "batched":
+            import inspect
+
+            if "sweep_mode" in inspect.signature(estimate_many).parameters:
+                kwargs["sweep_mode"] = sweep_mode
         chunk = len(models) if not batch_size or batch_size < 1 else batch_size
         results: "list[SwitchingEstimate]" = []
         with get_tracer().span(

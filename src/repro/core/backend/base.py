@@ -124,6 +124,7 @@ class CompiledModel(ABC):
         inputs_list: "list[InputModel]",
         batch_size: Optional[int] = None,
         dtype: Optional[str] = None,
+        sweep_mode: Optional[str] = None,
     ) -> "list[SwitchingEstimate]":
         """Estimate K input-statistics scenarios against one compile.
 
@@ -134,7 +135,11 @@ class CompiledModel(ABC):
         ``batch_size x factor_bytes``); ``None`` propagates all K
         scenarios in one batch.  ``dtype="float32"`` asks for float32
         batch buffers where the backend supports them (~1e-6 relative
-        tolerance).  Loop-based backends ignore both.
+        tolerance).  ``sweep_mode`` (``"auto"``/``"batched"``/
+        ``"delta"``) selects the delta-sweep planner on estimators that
+        support it (dedup plus incremental chains for similar
+        scenarios, bitwise-equal to the fresh batched pass).
+        Loop-based backends ignore all three.
         """
         return [self.query(model) for model in inputs_list]
 

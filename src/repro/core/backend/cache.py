@@ -23,6 +23,7 @@ import hashlib
 import os
 import tempfile
 import time
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -42,6 +43,7 @@ __all__ = [
     "CacheEntry",
     "CompileCache",
     "circuit_fingerprint",
+    "compile_fingerprint",
     "default_cache_dir",
     "input_structure_signature",
 ]
@@ -58,6 +60,16 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+#: Per-object memo for :func:`circuit_fingerprint`.  Netlists are
+#: immutable after construction, and resident serving recomputes the
+#: fingerprint on every request (pool admission + result-cache key),
+#: so hashing a multi-hundred-gate netlist per hit dominates the hot
+#: path.  Weak keys: the memo never keeps a circuit alive.
+_FINGERPRINT_MEMO: "weakref.WeakKeyDictionary[Circuit, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def circuit_fingerprint(circuit: Circuit) -> str:
     """Deterministic structural digest of a netlist.
 
@@ -65,6 +77,12 @@ def circuit_fingerprint(circuit: Circuit) -> str:
     the primary I/O declarations, and the name.  Two circuits with the
     same fingerprint compile to interchangeable models.
     """
+    try:
+        memo = _FINGERPRINT_MEMO.get(circuit)
+    except TypeError:  # unhashable or non-weakrefable stand-in
+        memo = None
+    if memo is not None:
+        return memo
     digest = hashlib.sha256()
     digest.update(circuit.name.encode())
     digest.update(("|in:" + ",".join(circuit.inputs)).encode())
@@ -74,7 +92,12 @@ def circuit_fingerprint(circuit: Circuit) -> str:
         if gate is not None:
             entry = f"|{gate.output}={gate.gate_type.name}({','.join(gate.inputs)})"
             digest.update(entry.encode())
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    try:
+        _FINGERPRINT_MEMO[circuit] = fingerprint
+    except TypeError:
+        pass
+    return fingerprint
 
 
 def input_structure_signature(
@@ -93,6 +116,32 @@ def input_structure_signature(
     for cpd in inputs.input_cpds(circuit.inputs):
         parts.append(f"{cpd.variable}|{cpd.cardinality}|{','.join(cpd.parents)}")
     return hashlib.sha256(";".join(parts).encode()).hexdigest()
+
+
+def compile_fingerprint(
+    circuit: Circuit,
+    backend_name: str,
+    inputs: Optional[InputModel] = None,
+    options_token: str = "",
+) -> str:
+    """Content fingerprint of a compile: netlist hash + backend +
+    input structure + options + schema version.
+
+    This is the pure function behind :meth:`CompileCache.key_for`; it
+    needs no cache directory, so result caches
+    (:class:`repro.core.rcache.ResultCache`) can key on the identical
+    fingerprint whether or not an on-disk compile cache is configured.
+    """
+    material = "\n".join(
+        [
+            ARTIFACT_SCHEMA,
+            backend_name,
+            circuit_fingerprint(circuit),
+            input_structure_signature(inputs, circuit),
+            options_token,
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
 
 
 @dataclass
@@ -193,16 +242,7 @@ class CompileCache:
         options_token: str = "",
     ) -> str:
         """Cache key: netlist hash + backend + options + schema version."""
-        material = "\n".join(
-            [
-                ARTIFACT_SCHEMA,
-                backend_name,
-                circuit_fingerprint(circuit),
-                input_structure_signature(inputs, circuit),
-                options_token,
-            ]
-        )
-        return hashlib.sha256(material.encode()).hexdigest()
+        return compile_fingerprint(circuit, backend_name, inputs, options_token)
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}{self.SUFFIX}"

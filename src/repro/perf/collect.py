@@ -357,7 +357,12 @@ def ingest_bench_documents(
         for row in throughput.get("results", []):
             block = measurements.setdefault(row["circuit"], {})
             rates = block.setdefault("batched_scenarios_per_sec", {})
-            rates[str(row["batch_size"])] = row["batched_scenarios_per_sec"]
+            # Delta-sweep rows share the batched rows' metric but carry
+            # a "sweep" tag; suffix the key so both gate independently.
+            rate_key = str(row["batch_size"])
+            if row.get("sweep"):
+                rate_key = f"{rate_key}[{row['sweep']}]"
+            rates[rate_key] = row["batched_scenarios_per_sec"]
     if segmentation is not None:
         if segmentation.get("benchmark") != "segmentation":
             raise PerfProfileError(
@@ -384,9 +389,16 @@ def ingest_bench_documents(
         for row in serving.get("results", []):
             block = measurements.setdefault(row["circuit"], {})
             rates = block.setdefault("serving_scenarios_per_sec", {})
-            rates[f"{row['mode']}@c{row['concurrency']}"] = row[
-                "scenarios_per_sec"
-            ]
+            rate_key = f"{row['mode']}@c{row['concurrency']}"
+            # Skewed-stream rows (the cached-serving benchmark) carry a
+            # workload tag and, when the server reported it, the result
+            # cache's hit rate for the run.
+            if row.get("workload"):
+                rate_key = f"{rate_key}[{row['workload']}]"
+            rates[rate_key] = row["scenarios_per_sec"]
+            if row.get("cache_hit_rate") is not None:
+                hit_rates = block.setdefault("serving_cache_hit_rate", {})
+                hit_rates[rate_key] = row["cache_hit_rate"]
     if not measurements:
         raise PerfProfileError(
             "nothing to ingest: no benchmark rows in the given report(s)"

@@ -58,7 +58,13 @@ __all__ = [
 _TIME_METRICS = ("repeat_estimate_min_seconds",)
 
 #: per-circuit ``{batch_size: rate}`` tables gated higher-is-better.
-_RATE_METRICS = ("batched_scenarios_per_sec",)
+#: serving rates and cache hit rates share the dict shape (keyed by
+#: serving configuration), so they gate through the same loop.
+_RATE_METRICS = (
+    "batched_scenarios_per_sec",
+    "serving_scenarios_per_sec",
+    "serving_cache_hit_rate",
+)
 
 #: error metrics: growth beyond atol is an accuracy failure (exit 2).
 _ERROR_METRICS = ("max_abs_error", "max_abs_diff_vs_dense")
@@ -254,8 +260,11 @@ _BENCH_KINDS: Dict[str, Dict[str, Any]] = {
         "higher_is_better": False,
     },
     "throughput": {
+        # "sweep" is optional in rows: only delta-sweep rows carry it,
+        # so (via _row_key's .get -> None) legacy batched rows keep the
+        # key identity they had before the field existed.
         "metric": "batched_scenarios_per_sec",
-        "key_fields": ("circuit", "batch_size"),
+        "key_fields": ("circuit", "batch_size", "sweep"),
         "higher_is_better": True,
     },
     "segmentation": {
@@ -264,15 +273,22 @@ _BENCH_KINDS: Dict[str, Dict[str, Any]] = {
         "higher_is_better": False,
     },
     "serving": {
+        # "workload" is likewise optional: only skewed-stream rows
+        # (zipf/hotspot/burst) tag it, uniform rows stay unkeyed.
         "metric": "scenarios_per_sec",
-        "key_fields": ("circuit", "mode", "concurrency"),
+        "key_fields": ("circuit", "mode", "concurrency", "workload"),
         "higher_is_better": True,
     },
 }
 
 
 def _row_key(row: Dict, key_fields: Tuple[str, ...]) -> Tuple:
-    return tuple(row.get(field) for field in key_fields)
+    # Absent optional fields ("sweep", "workload") are dropped rather
+    # than kept as None, so rows from reports that predate a field keep
+    # the exact key tuple they had when their baseline was recorded.
+    return tuple(
+        row[field] for field in key_fields if row.get(field) is not None
+    )
 
 
 def compare_bench_documents(

@@ -23,7 +23,12 @@ Start one with ``repro serve``; drive it with ``repro client``.
 """
 
 from repro.serve.batcher import BatchStats, DynamicBatcher
-from repro.serve.client import LoadReport, ServeClient, run_load
+from repro.serve.client import (
+    LoadReport,
+    ServeClient,
+    run_load,
+    workload_scenario_ids,
+)
 from repro.serve.pool import EnginePool, ModelPool, PooledModel
 from repro.serve.server import EstimationServer, ServerConfig
 
@@ -38,4 +43,5 @@ __all__ = [
     "ServeClient",
     "ServerConfig",
     "run_load",
+    "workload_scenario_ids",
 ]

@@ -14,6 +14,15 @@ shapes:
   Latency is measured from the scheduled arrival, so queueing delay
   under overload is visible instead of silently throttled away.
 
+Orthogonally to the loop shape, ``workload`` picks the *scenario
+stream* the requests carry.  ``"uniform"`` (the default, and the
+pre-existing behavior) gives every request a distinct scenario;
+``"zipf:A"``, ``"hotspot:P"``, and ``"burst:N"`` replay a small
+scenario universe with the skew real sweep traffic has (synthesis
+loops hammering one operating point, bursts of identical what-if
+queries), which is what the server's result cache and single-flight
+dedup are measured against.
+
 Latency percentiles use the nearest-rank method on the full sample
 set (no reservoir -- the load run owns its samples).
 """
@@ -22,6 +31,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
@@ -31,7 +41,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 
-__all__ = ["LoadReport", "ServeClient", "ServeRequestError", "run_load"]
+__all__ = [
+    "LoadReport",
+    "ServeClient",
+    "ServeRequestError",
+    "run_load",
+    "workload_scenario_ids",
+]
 
 #: golden-ratio low-discrepancy stream, matching benchmarks/common.py's
 #: salted scenarios: distinct p_one per request, deterministic per salt.
@@ -54,6 +70,83 @@ def scenario_spec(index: int, salt: float = 0.0) -> Dict[str, Any]:
         "kind": "independent",
         "p_one": round(0.05 + ((index * PHI + salt) % 1.0) * 0.9, 12),
     }
+
+
+#: scenario ids the skewed workloads draw from; small enough that a
+#: hot stream revisits ids within one load run, large enough that a
+#: uniform draw over it still misses a cold cache most of the time.
+WORKLOAD_UNIVERSE = 64
+
+#: fixed stream seed -- workloads are part of a benchmark's identity,
+#: so the same (workload, requests) pair must replay the same ids.
+WORKLOAD_SEED = 0x5EED
+
+
+def workload_scenario_ids(
+    workload: str,
+    requests: int,
+    universe: int = WORKLOAD_UNIVERSE,
+    seed: int = WORKLOAD_SEED,
+) -> Optional[List[int]]:
+    """Scenario id per request index for a named workload.
+
+    - ``"uniform"`` -- ``None``: request ``i`` carries distinct
+      scenario ``i`` (the historical stream; nothing ever repeats).
+    - ``"zipf:A"`` -- ids drawn from a Zipf(``A``) distribution over
+      ``universe`` ranked ids (id 0 hottest).  ``A=1.1`` gives the
+      heavy skew of synthesis loops re-querying one operating point.
+    - ``"hotspot:P"`` -- id 0 with probability ``P``, else uniform
+      over the remaining universe.
+    - ``"burst:N"`` -- blocks of ``N`` consecutive requests share one
+      id (``i // N``): back-to-back identical what-if queries.
+
+    The map is a precomputed list (deterministic in ``seed``), so the
+    stream is independent of worker-thread interleaving: request index
+    ``i`` always carries the same scenario.
+    """
+    if workload == "uniform":
+        return None
+    name, _, param = workload.partition(":")
+    try:
+        value = float(param) if param else None
+        if name == "zipf":
+            if value is None or value <= 1.0:
+                raise ReproError(
+                    f"zipf workload needs an exponent > 1, got {workload!r}"
+                )
+            weights = [rank ** -value for rank in range(1, universe + 1)]
+            total = sum(weights)
+            cdf = []
+            acc = 0.0
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            rng = random.Random(seed)
+            ids = []
+            for _ in range(requests):
+                u = rng.random()
+                ids.append(next(i for i, c in enumerate(cdf) if u <= c))
+            return ids
+        if name == "hotspot":
+            if value is None or not 0.0 < value <= 1.0:
+                raise ReproError(
+                    f"hotspot workload needs a probability in (0, 1], got {workload!r}"
+                )
+            rng = random.Random(seed)
+            return [
+                0 if rng.random() < value else rng.randrange(1, universe)
+                for _ in range(requests)
+            ]
+        if name == "burst":
+            width = int(value) if value is not None else 8
+            if width < 1:
+                raise ReproError(f"burst width must be >= 1, got {workload!r}")
+            return [i // width for i in range(requests)]
+    except ValueError:
+        pass
+    raise ReproError(
+        f"unknown workload {workload!r} (uniform|zipf:A|hotspot:P|burst:N)"
+    )
 
 
 class ServeClient:
@@ -193,6 +286,7 @@ class LoadReport:
     p99_latency_seconds: float
     max_latency_seconds: float
     rate: Optional[float] = None
+    workload: str = "uniform"
     first_error: str = ""
     latencies: List[float] = field(default_factory=list, repr=False)
 
@@ -212,6 +306,10 @@ class LoadReport:
         }
         if self.rate is not None:
             row["rate"] = self.rate
+        # Only skewed streams tag their rows, so rows from the historic
+        # uniform stream keep their pre-workload identity in diffs.
+        if self.workload != "uniform":
+            row["workload"] = self.workload
         return row
 
 
@@ -228,6 +326,7 @@ def run_load(
     detail: Optional[str] = None,
     timeout: float = 60.0,
     warmup: bool = True,
+    workload: str = "uniform",
 ) -> LoadReport:
     """Drive ``requests`` scenarios at the server and report latency.
 
@@ -235,11 +334,15 @@ def run_load(
     ``mode="open"``: arrivals scheduled every ``1/rate`` seconds,
     dispatched by up to ``concurrency`` workers; latency counts from
     the scheduled arrival time (queueing delay included).
+    ``workload`` names the scenario stream
+    (:func:`workload_scenario_ids`); skewed streams repeat scenario
+    ids, which is the traffic shape the server's result cache serves.
     """
     if mode not in ("closed", "open"):
         raise ReproError(f"unknown load mode {mode!r} (closed|open)")
     if concurrency < 1 or requests < 1:
         raise ReproError("concurrency and requests must be >= 1")
+    scenario_ids = workload_scenario_ids(workload, requests)
     client = ServeClient(base_url, timeout=timeout)
     if warmup:
         # Pays compile + pool admission outside the timed window.
@@ -274,9 +377,12 @@ def run_load(
                 began = scheduled
             else:
                 began = time.perf_counter()
+            scenario_id = (
+                scenario_ids[index] if scenario_ids is not None else index
+            )
             try:
                 client.estimate(
-                    circuit, scenario_spec(index, salt),
+                    circuit, scenario_spec(scenario_id, salt),
                     backend=backend, options=options, detail=detail,
                 )
             except ServeRequestError as exc:
@@ -314,6 +420,7 @@ def run_load(
         p99_latency_seconds=_percentile(ordered, 0.99),
         max_latency_seconds=ordered[-1] if ordered else 0.0,
         rate=rate if mode == "open" else None,
+        workload=workload,
         first_error=errors[0] if errors else "",
         latencies=latencies,
     )

@@ -23,6 +23,16 @@ matter how requests interleave, which batches they share, or what the
 replica served before (the concurrency stress test pins this).  A
 ``ZeroBeliefError`` inside a shared batch triggers a per-scenario
 retry so one degenerate scenario fails alone, not its batch-mates.
+
+Two reuse layers ride on that purity without weakening it: the
+fingerprint-keyed result cache (``repro.core.rcache``) replays the
+stored marginals of a previous full pass for an exact scenario repeat
+(same pool key, same canonical scenario digest), and the batcher's
+single-flight dedup merges concurrent identical requests into one
+batch slot.  Both key on the canonical digest of the *induced input
+CPDs*, the only scenario-dependent propagation inputs, so a hit or a
+merged request returns exactly the bytes a fresh propagation would
+have produced.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import json
 import signal
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -41,6 +52,7 @@ from repro.circuits.netlist import Circuit
 from repro.core.backend.base import CompiledModel
 from repro.core.backend.facade import resolve_cache
 from repro.core.estimator import SwitchingEstimate
+from repro.core.rcache import ResultCache, scenario_digest
 from repro.core.inputs import InputModel, input_model_from_spec
 from repro.errors import ReproError, UnknownCircuitError, ZeroBeliefError
 from repro.obs.metrics import enable_metrics, get_metrics
@@ -66,6 +78,10 @@ class ServerConfig:
     linger_ms: float = 2.0
     workers: int = 2
     request_timeout: float = 60.0
+    #: LRU capacity of the fingerprint-keyed result cache (exact repeat
+    #: scenarios replay stored marginals without propagating); 0 turns
+    #: result caching off.
+    result_cache_entries: int = 4096
 
 
 class EstimationServer:
@@ -91,9 +107,26 @@ class EstimationServer:
             linger_seconds=self.config.linger_ms / 1000.0,
             workers=self.config.workers,
         )
+        self.rcache: Optional[ResultCache] = (
+            ResultCache(max_entries=self.config.result_cache_entries)
+            if self.config.result_cache_entries > 0
+            else None
+        )
         self.started = time.time()
         self._circuits: Dict[str, Circuit] = {}
         self._circuits_lock = threading.Lock()
+        # Exact-spec digest memo: (pool key, canonical spec JSON) ->
+        # scenario digest.  A spec that repeats byte-for-byte (the
+        # skewed-traffic common case) skips rebuilding its induced
+        # input CPDs; a differently-spelled equivalent spec misses the
+        # memo, recomputes the canonical digest, and still collides at
+        # the cache-key level.  Bounded FIFO, same order of size as the
+        # result cache it fronts.
+        self._digest_memo: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
+        self._digest_memo_lock = threading.Lock()
+        self._digest_memo_limit = max(
+            1024, 2 * self.config.result_cache_entries
+        )
         handler = _make_handler(self)
         server_cls = type(
             "ReproHTTPServer",
@@ -202,29 +235,106 @@ class EstimationServer:
         except (TypeError, ValueError, KeyError) as exc:
             raise ReproError(f"malformed scenario spec: {exc}") from None
 
+    def _scenario_key(
+        self, entry: PooledModel, scenario: InputModel, raw: Any
+    ) -> Tuple[str, str]:
+        """``(fingerprint, digest)`` result-cache key for one scenario.
+
+        The digest half is memoized on the spec's canonical JSON bytes:
+        skewed traffic repeats specs verbatim, and rebuilding the
+        induced input CPDs per request would dominate the hit path on
+        wide circuits.  A differently-spelled equivalent spec misses
+        the memo, pays the canonical :func:`scenario_digest` once, and
+        still collides at the cache-key level.
+        """
+        token = None
+        if isinstance(raw, dict):
+            try:
+                token = json.dumps(raw, sort_keys=True, separators=(",", ":"))
+            except (TypeError, ValueError):
+                token = None
+        if token is not None:
+            memo_key = (entry.key, token)
+            with self._digest_memo_lock:
+                digest = self._digest_memo.get(memo_key)
+            if digest is not None:
+                return (entry.key, digest)
+        digest = scenario_digest(entry.model.circuit, scenario)
+        if token is not None:
+            with self._digest_memo_lock:
+                self._digest_memo[memo_key] = digest
+                while len(self._digest_memo) > self._digest_memo_limit:
+                    self._digest_memo.popitem(last=False)
+        return (entry.key, digest)
+
+    def _lookup(
+        self, entry: PooledModel, scenario: InputModel, raw: Any, detail: str
+    ) -> "Tuple[Optional[Tuple[str, str]], Optional[Dict[str, Any]]]":
+        """Result-cache probe for one admitted scenario.
+
+        Returns ``(key, stored payload)``; the key is ``None`` when
+        result caching is off, the payload is ``None`` on a miss.  The
+        key's fingerprint half is the pool entry's compile-cache key,
+        so a cached result can never outlive anything that would have
+        changed the compiled model.  Marginal arrays are only copied
+        out when ``detail`` actually renders them.
+        """
+        if self.rcache is None:
+            return None, None
+        key = self._scenario_key(entry, scenario, raw)
+        payload = self.rcache.get(key, need_arrays=(detail == "distributions"))
+        return key, payload
+
+    def _store(
+        self, key: Optional[Tuple[str, str]], result: SwitchingEstimate
+    ) -> None:
+        if self.rcache is not None and key is not None:
+            result.result_cache_hit = False
+            self.rcache.put(key, result)
+
     def handle_estimate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        entry, scenarios, detail = self._admit(payload, one=True)
-        future = self.batcher.submit(entry.key, (entry, scenarios[0]))
+        entry, scenarios, raw, detail = self._admit(payload, one=True)
+        key, cached = self._lookup(entry, scenarios[0], raw[0], detail)
+        if cached is not None:
+            return self._cached_payload(entry, cached, detail)
+        future = self.batcher.submit(
+            entry.key,
+            (entry, scenarios[0]),
+            dedup_key=key[1] if key is not None else None,
+        )
         result = future.result(timeout=self.config.request_timeout)
         if isinstance(result, BaseException):
             raise result
+        self._store(key, result)
         return self._estimate_payload(entry, result, detail)
 
     def handle_estimate_many(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        entry, scenarios, detail = self._admit(payload, one=False)
-        futures = [
-            self.batcher.submit(entry.key, (entry, scenario))
-            for scenario in scenarios
-        ]
+        entry, scenarios, raw, detail = self._admit(payload, one=False)
+        slots: List[Tuple[Optional[Tuple[str, str]], Any, Any]] = []
+        for scenario, raw_spec in zip(scenarios, raw):
+            key, cached = self._lookup(entry, scenario, raw_spec, detail)
+            if cached is not None:
+                slots.append((key, None, cached))
+            else:
+                future = self.batcher.submit(
+                    entry.key,
+                    (entry, scenario),
+                    dedup_key=key[1] if key is not None else None,
+                )
+                slots.append((key, future, None))
         deadline = time.monotonic() + self.config.request_timeout
         results = []
-        for future in futures:
+        for key, future, cached in slots:
+            if cached is not None:
+                results.append(self._cached_payload(entry, cached, detail))
+                continue
             result = future.result(timeout=max(0.0, deadline - time.monotonic()))
             if isinstance(result, BaseException):
                 results.append(
                     {"error": {"type": type(result).__name__, "message": str(result)}}
                 )
             else:
+                self._store(key, result)
                 results.append(self._estimate_payload(entry, result, detail))
         return {"circuit": entry.model.circuit.name, "results": results}
 
@@ -232,7 +342,7 @@ class EstimationServer:
 
     def _admit(
         self, payload: Dict[str, Any], one: bool
-    ) -> Tuple[PooledModel, List[InputModel], str]:
+    ) -> Tuple[PooledModel, List[InputModel], List[Any], str]:
         if not isinstance(payload, dict):
             raise ReproError("request body must be a JSON object")
         spec = payload.get("circuit")
@@ -260,7 +370,28 @@ class EstimationServer:
             timeout=self.config.request_timeout,
             **options,
         )
-        return entry, scenarios, detail
+        return entry, scenarios, raw, detail
+
+    def _cached_payload(
+        self, entry: PooledModel, payload: Dict[str, Any], detail: str
+    ) -> Dict[str, Any]:
+        """Response for a result-cache hit, rendered from the stored
+        floats (no estimate materialization, no activity recompute)."""
+        response = {
+            "circuit": entry.model.circuit.name,
+            "backend": entry.model.backend_name,
+            "method": payload["method"],
+            "mean_activity": payload["mean_activity"],
+            "result_cache_hit": True,
+        }
+        if detail in ("activities", "distributions"):
+            response["activities"] = payload["activities"]
+        if detail == "distributions":
+            response["distributions"] = {
+                line: [float(v) for v in dist]
+                for line, dist in payload["distributions"].items()
+            }
+        return response
 
     def _estimate_payload(
         self, entry: PooledModel, estimate: SwitchingEstimate, detail: str
@@ -271,6 +402,8 @@ class EstimationServer:
             "method": estimate.method,
             "mean_activity": float(estimate.mean_activity()),
         }
+        if estimate.result_cache_hit is not None:
+            payload["result_cache_hit"] = estimate.result_cache_hit
         if detail in ("activities", "distributions"):
             payload["activities"] = {
                 line: float(p) for line, p in estimate.activities.items()
@@ -338,14 +471,19 @@ class EstimationServer:
                     "workers": self.config.workers,
                     "max_models": self.config.max_models,
                     "engines_per_model": self.config.engines_per_model,
+                    "result_cache_entries": self.config.result_cache_entries,
                 },
                 "pool": self.pool.stats(),
                 "batcher": {
                     "items": self.batcher.stats.items,
                     "batches": self.batcher.stats.batches,
                     "full_batches": self.batcher.stats.full_batches,
+                    "deduped": self.batcher.stats.deduped,
                     "mean_batch_size": self.batcher.stats.mean_batch_size(),
                 },
+                "result_cache": (
+                    self.rcache.stats() if self.rcache is not None else None
+                ),
             }
         )
 

@@ -1,0 +1,221 @@
+"""Delta sweeps: planner units and the bitwise-parity contract.
+
+The contract under test: ``sweep_mode="delta"`` (dedup + greedy
+nearest-neighbour ordering + incremental CPD-update chain) returns
+results bitwise-identical to the batched path on a *fresh* estimator.
+Oracles here are always freshly-constructed estimators -- a reused
+estimator carries the documented 1-ULP dirty-path drift across sweeps,
+which is pre-existing behavior this PR neither introduced nor relies
+on (the delta chain restarts propagation from reset potentials, which
+is exactly why it matches a fresh pass bit for bit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import examples, generate, suite
+from repro.core import (
+    CorrelatedGroupInputs,
+    IndependentInputs,
+    SegmentedEstimator,
+    SwitchingActivityEstimator,
+)
+from repro.core.backend import estimate_many as facade_estimate_many
+from repro.core.rcache import input_cpd_signatures
+from repro.core.sweep import group_scenarios, hamming_distance, plan_delta_order
+
+
+class TestPlanner:
+    def test_group_scenarios_collapses_duplicates(self):
+        reps, scatter = group_scenarios(["a", "b", "a", "c", "b"])
+        assert reps == [0, 1, 3]
+        assert scatter == [0, 1, 0, 2, 1]
+
+    def test_group_scenarios_all_unique(self):
+        reps, scatter = group_scenarios(["a", "b", "c"])
+        assert reps == [0, 1, 2]
+        assert scatter == [0, 1, 2]
+
+    def test_hamming_distance_counts_changed_inputs(self):
+        a = {"x": (b"1", ()), "y": (b"2", ())}
+        b = {"x": (b"1", ()), "y": (b"9", ())}
+        assert hamming_distance(a, a) == 0
+        assert hamming_distance(a, b) == 1
+
+    def test_plan_delta_order_greedy_nearest_neighbour(self):
+        # Scenario 0 shares everything with 2, nothing with 1: the plan
+        # must hop 0 -> 2 -> 1, not submission order.
+        sigs = [
+            {"x": (b"1", ()), "y": (b"1", ())},
+            {"x": (b"9", ()), "y": (b"9", ())},
+            {"x": (b"1", ()), "y": (b"1", ())},
+        ]
+        assert plan_delta_order(sigs) == [0, 2, 1]
+
+    def test_plan_delta_order_is_deterministic(self):
+        sigs = [
+            {"x": (bytes([i % 3]), ())} for i in range(7)
+        ]
+        assert plan_delta_order(sigs) == plan_delta_order(sigs)
+
+    def test_signature_keys_match_digests(self):
+        circuit = examples.c17()
+        a = input_cpd_signatures(circuit, IndependentInputs(0.3))
+        b = input_cpd_signatures(circuit, IndependentInputs(0.3))
+        assert hamming_distance(a, b) == 0
+
+
+def _one_input_sweep(circuit, k, repeats_each=1):
+    """Low-Hamming sweep: only the first input's p_one varies, each
+    operating point repeated ``repeats_each`` times."""
+    hot = list(circuit.inputs)[0]
+    models = []
+    for i in range(k):
+        p = 0.1 + 0.8 * (i / max(1, k - 1))
+        models.extend(
+            IndependentInputs({hot: p}) for _ in range(repeats_each)
+        )
+    return models
+
+
+def _assert_bitwise(got, expected, lines):
+    assert len(got) == len(expected)
+    for k, (g, e) in enumerate(zip(got, expected)):
+        for line in lines:
+            assert np.array_equal(g.distributions[line], e.distributions[line]), (
+                f"scenario {k} line {line}: delta {g.distributions[line]} "
+                f"!= oracle {e.distributions[line]}"
+            )
+
+
+class TestSingleBNParity:
+    def test_delta_matches_fresh_batched(self):
+        circuit = examples.c17()
+        models = _one_input_sweep(circuit, 6)
+        oracle = SwitchingActivityEstimator(circuit).estimate_many(models)
+        got = SwitchingActivityEstimator(circuit).estimate_many(
+            models, sweep_mode="delta"
+        )
+        _assert_bitwise(got, oracle, list(circuit.lines))
+
+    def test_delta_with_duplicates(self):
+        circuit = examples.c17()
+        models = _one_input_sweep(circuit, 4, repeats_each=3)
+        oracle = SwitchingActivityEstimator(circuit).estimate_many(models)
+        got = SwitchingActivityEstimator(circuit).estimate_many(
+            models, sweep_mode="delta"
+        )
+        _assert_bitwise(got, oracle, list(circuit.lines))
+
+    def test_delta_with_correlated_groups(self):
+        # Correlated chains add input-to-input edges, so the estimator
+        # must be compiled with that structure (same rule as
+        # update_inputs); all swept models then share it.
+        circuit = examples.c17()
+        names = list(circuit.inputs)
+        models = [
+            CorrelatedGroupInputs(
+                [(names[0], names[1])], rho=rho,
+                base=IndependentInputs(0.4),
+            )
+            for rho in (0.2, 0.2, 0.5, 0.8)
+        ]
+        oracle = SwitchingActivityEstimator(
+            circuit, input_model=models[0]
+        ).estimate_many(models)
+        got = SwitchingActivityEstimator(
+            circuit, input_model=models[0]
+        ).estimate_many(models, sweep_mode="delta")
+        _assert_bitwise(got, oracle, list(circuit.lines))
+
+    def test_chain_counters_advance(self):
+        circuit = examples.c17()
+        estimator = SwitchingActivityEstimator(circuit)
+        models = _one_input_sweep(circuit, 4, repeats_each=2)
+        estimator.estimate_many(models, sweep_mode="delta")
+        counters = estimator.propagation_counters().as_dict()
+        # 4 unique scenarios: the first install precedes engine
+        # creation (counters live on the engine), so 3 hops are
+        # counted, plus 1 for the original-CPD restore on the way out.
+        # Duplicates never step.
+        assert counters["chain_steps"] == 4
+        assert counters["chain_potentials_updated"] >= 4
+
+    def test_auto_uses_delta_only_for_duplicates(self):
+        circuit = examples.c17()
+        distinct = SwitchingActivityEstimator(circuit)
+        distinct.estimate_many(_one_input_sweep(circuit, 4), sweep_mode="auto")
+        assert distinct.propagation_counters().as_dict()["chain_steps"] == 0
+
+        repeated = SwitchingActivityEstimator(circuit)
+        repeated.estimate_many(
+            _one_input_sweep(circuit, 4, repeats_each=2), sweep_mode="auto"
+        )
+        assert repeated.propagation_counters().as_dict()["chain_steps"] > 0
+
+    def test_single_query_state_survives_delta(self):
+        """A delta sweep must not disturb subsequent estimate() calls."""
+        circuit = examples.c17()
+        estimator = SwitchingActivityEstimator(circuit)
+        estimator.update_inputs(IndependentInputs(0.37))
+        before = estimator.estimate()
+        estimator.estimate_many(
+            _one_input_sweep(circuit, 4, repeats_each=2), sweep_mode="delta"
+        )
+        after = estimator.estimate()
+        fresh = SwitchingActivityEstimator(circuit)
+        fresh.update_inputs(IndependentInputs(0.37))
+        oracle = fresh.estimate()
+        for line in circuit.lines:
+            assert np.array_equal(
+                after.distributions[line], oracle.distributions[line]
+            )
+            assert np.array_equal(
+                after.distributions[line], before.distributions[line]
+            )
+
+    def test_unknown_sweep_mode_rejected(self):
+        circuit = examples.c17()
+        with pytest.raises(ValueError, match="sweep_mode"):
+            SwitchingActivityEstimator(circuit).estimate_many(
+                [IndependentInputs(0.3)], sweep_mode="warp"
+            )
+
+
+class TestSegmentedParity:
+    def test_delta_matches_fresh_batched(self):
+        circuit = generate.random_layered_circuit(8, 40, seed=7)
+        models = _one_input_sweep(circuit, 4, repeats_each=2)
+        oracle_est = SegmentedEstimator(circuit, max_gates_per_segment=10)
+        oracle = oracle_est.estimate_many(models)
+        assert oracle_est.num_segments > 1  # actually multi-segment
+        got = SegmentedEstimator(
+            circuit, max_gates_per_segment=10
+        ).estimate_many(models, sweep_mode="delta")
+        _assert_bitwise(got, oracle, list(circuit.lines))
+
+    def test_delta_matches_on_suite_circuit(self):
+        circuit = suite.load_circuit("pcler8")
+        models = _one_input_sweep(circuit, 3, repeats_each=2)
+        oracle = SegmentedEstimator(
+            circuit, max_gates_per_segment=8
+        ).estimate_many(models)
+        got = SegmentedEstimator(
+            circuit, max_gates_per_segment=8
+        ).estimate_many(models, sweep_mode="delta")
+        _assert_bitwise(got, oracle, list(circuit.lines))
+
+
+class TestFacadeSweepMode:
+    def test_facade_forwards_sweep_mode(self):
+        circuit = examples.c17()
+        models = _one_input_sweep(circuit, 3, repeats_each=2)
+        batched = facade_estimate_many(
+            circuit, models, backend="junction-tree", cache=None,
+            sweep_mode="batched",
+        )
+        delta = facade_estimate_many(
+            circuit, models, backend="junction-tree", cache=None,
+            sweep_mode="delta",
+        )
+        _assert_bitwise(delta, batched, list(circuit.lines))
